@@ -1,0 +1,52 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate every table and figure of the paper's evaluation.
+By default they run at a reduced scale so the whole suite finishes in a
+few minutes; set ``REPRO_BENCH_SCALE=full`` to run the paper's full
+parameters (Figure 4's one-minute runs, Figure 5's 3000 requests, the
+complete sweeps).
+
+Each benchmark prints its reproduction table (paper value vs measured)
+to stdout so ``pytest benchmarks/ --benchmark-only -s`` doubles as the
+results report; a machine-readable copy is appended to
+``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+FULL = os.environ.get("REPRO_BENCH_SCALE", "quick") == "full"
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def full_scale():
+    """True when running the paper's full parameters."""
+    return FULL
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Persist one experiment's rows as JSON under benchmarks/results/."""
+
+    def _record(name, payload):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.json"
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, default=str)
+        return path
+
+    return _record
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark timer.
+
+    The experiments are multi-second simulations; statistical repetition
+    belongs to the simulation (many messages), not to wall-clock rounds.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

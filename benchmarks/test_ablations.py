@@ -1,0 +1,114 @@
+"""Benchmarks: §II.G ablations over TART's tuning controls.
+
+Four studies the paper describes but does not plot:
+
+* checkpoint frequency vs recovery gap / checkpoint traffic (II.F.2),
+* silence-propagation policies on one workload (II.G.3),
+* the hyper-aggressive bias under asymmetric sender rates (II.G.1),
+* drift-triggered determinism-fault re-calibration (II.G.4).
+"""
+
+from conftest import once
+
+from repro.experiments.ablations import (
+    run_bias_ablation,
+    run_checkpoint_ablation,
+    run_retuning_ablation,
+    run_silence_policy_ablation,
+)
+from repro.experiments.common import format_table
+from repro.sim.kernel import ms, seconds
+
+
+def test_checkpoint_frequency(benchmark, full_scale, record_result):
+    intervals = ((ms(10), ms(25), ms(50), ms(100), ms(200)) if full_scale
+                 else (ms(25), ms(100)))
+    duration = seconds(2)
+    rows = once(benchmark, lambda: run_checkpoint_ablation(
+        intervals=intervals, duration=duration))
+
+    print("\n=== II.G ablation: checkpoint frequency ===")
+    print("paper: more frequent checkpointing reduces recovery time but "
+          "increases overhead")
+    print(format_table(rows))
+    record_result("ablation_checkpoint", rows)
+
+    assert all(r["identical"] for r in rows)
+    first, last = rows[0], rows[-1]
+    assert first["messages_replayed"] <= last["messages_replayed"]
+    assert first["checkpoints"] > last["checkpoints"]
+
+
+def test_silence_policies(benchmark, full_scale, record_result):
+    duration = seconds(4) if full_scale else seconds(2)
+    rows = once(benchmark,
+                lambda: run_silence_policy_ablation(duration=duration))
+
+    print("\n=== II.G ablation: silence-propagation policies ===")
+    print(format_table(rows))
+    record_result("ablation_policies", rows)
+
+    by_policy = {r["policy"]: r for r in rows}
+    assert (by_policy["lazy"]["mean_latency_us"]
+            > by_policy["curiosity"]["mean_latency_us"])
+    assert (by_policy["aggressive"]["pessimism_delay_us_per_msg"]
+            <= by_policy["curiosity"]["pessimism_delay_us_per_msg"])
+    # Aggressive trades probe traffic for volunteered advances.
+    assert (by_policy["aggressive"]["probes_per_message"]
+            <= by_policy["curiosity"]["probes_per_message"])
+
+
+def test_hyper_aggressive_bias(benchmark, full_scale, record_result):
+    duration = seconds(4) if full_scale else seconds(2)
+    rows = once(benchmark, lambda: run_bias_ablation(duration=duration))
+
+    print("\n=== II.G ablation: bias under asymmetric sender rates ===")
+    print("paper: a slow sender eagerly promising extra silence reduces "
+          "the fast path's pessimism delay")
+    print(format_table(rows))
+    record_result("ablation_bias", rows)
+
+    by_variant = {r["variant"]: r for r in rows}
+    plain = by_variant["lazy-everywhere"]
+    biased = by_variant["lazy+bias-on-slow-sender"]
+    # The fast stream benefits substantially; the slow stream pays at
+    # most a modest penalty.
+    assert biased["fast_latency_us"] < 0.8 * plain["fast_latency_us"]
+    assert biased["slow_latency_us"] < 2.0 * plain["slow_latency_us"]
+
+
+def test_detection_time(benchmark, full_scale, record_result):
+    from repro.experiments.ablations import run_detection_ablation
+    from repro.sim.kernel import ms as _ms
+
+    intervals = ((_ms(1), _ms(2), _ms(5), _ms(10), _ms(20)) if full_scale
+                 else (_ms(1), _ms(5), _ms(20)))
+    rows = once(benchmark, lambda: run_detection_ablation(
+        intervals=intervals, duration=seconds(2)))
+
+    print("\n=== ablation: heartbeat detection time vs recovery gap ===")
+    print("organic failure detection: gap = heartbeat timeout + replay "
+          "catch-up")
+    print(format_table(rows))
+    record_result("ablation_detection", rows)
+
+    gaps = [r["output_gap_ms"] for r in rows]
+    assert gaps == sorted(gaps)            # shorter beats, shorter gaps
+    assert all(r["false_detections"] == 0 for r in rows)
+    assert all(r["failovers"] == 1 for r in rows)
+
+
+def test_dynamic_retuning(benchmark, full_scale, record_result):
+    duration = seconds(8) if full_scale else seconds(4)
+    result = once(benchmark, lambda: run_retuning_ablation(
+        duration=duration))
+
+    print("\n=== II.G ablation: determinism-fault re-calibration ===")
+    print("paper: re-calibration is synchronously logged; replay honours "
+          "the switchover virtual time")
+    for key, value in result.items():
+        print(f"  {key}: {value}")
+    record_result("ablation_retuning", result)
+
+    assert result["determinism_faults"] >= 1
+    assert result["second_half_latency_us"] < result["first_half_latency_us"]

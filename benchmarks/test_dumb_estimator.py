@@ -1,0 +1,32 @@
+"""Benchmark: §III.A — the "dumb" 600 µs constant estimator.
+
+Paper: with constant work the dumb estimator slightly outperforms the
+smart non-prescient one; as variability grows its overhead climbs,
+reaching ~13% at U(1,19) iterations.
+"""
+
+from conftest import once
+
+from repro.experiments.common import format_table
+from repro.experiments.dumb_estimator import run_dumb_estimator
+from repro.sim.kernel import seconds
+
+
+def test_dumb_estimator(benchmark, full_scale, record_result):
+    duration = seconds(5) if full_scale else seconds(2)
+    spreads = (0, 1, 2, 3, 4, 5, 6, 7, 8, 9) if full_scale else (0, 4, 9)
+    rows = once(benchmark, lambda: run_dumb_estimator(duration=duration,
+                                                      spreads=spreads))
+
+    print("\n=== III.A: smart vs dumb (600us constant) estimator ===")
+    print("paper: dumb overhead grows with variability, up to ~13%")
+    print(format_table(rows, ["sd_us", "nondet_latency_us",
+                              "smart_overhead_pct", "dumb_overhead_pct",
+                              "dumb_probes_per_message"]))
+    record_result("dumb_estimator", rows)
+
+    first, last = rows[0], rows[-1]
+    gap_first = first["dumb_overhead_pct"] - first["smart_overhead_pct"]
+    gap_last = last["dumb_overhead_pct"] - last["smart_overhead_pct"]
+    assert gap_last > gap_first          # dumbness hurts more as SD grows
+    assert last["dumb_overhead_pct"] > last["smart_overhead_pct"]

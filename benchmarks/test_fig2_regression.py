@@ -1,0 +1,32 @@
+"""Benchmark: Figure 2 — estimator calibration by linear regression.
+
+Paper: slope 61.827 µs/iteration, R² = 0.9154, highly right-skewed
+residuals, near-zero residual-iteration correlation over 10,000 samples.
+"""
+
+from conftest import once
+
+from repro.experiments.common import format_table
+from repro.experiments.fig2_regression import run_fig2
+
+
+def test_fig2_regression(benchmark, full_scale, record_result):
+    n = 10_000  # the paper's own sample count is cheap enough to keep
+    result = once(benchmark, lambda: run_fig2(n_samples=n))
+    measured = result["measured"]
+
+    print("\n=== Figure 2: service-time regression ===")
+    print(f"paper   : slope=61.827us/iter  R^2=0.9154  residuals right-skewed")
+    print(f"measured: slope={measured['slope_us_per_iteration']:.3f}us/iter  "
+          f"R^2={measured['r_squared']:.4f}  "
+          f"skew={measured['residual_skewness']:.2f}  "
+          f"resid-iter corr={measured['residual_iteration_corr']:.4f}")
+    print(format_table(result["scatter"],
+                       ["iterations", "n", "mean_us", "p10_us", "p90_us",
+                        "predicted_us"]))
+    record_result("fig2", {"paper": result["paper"], "measured": measured,
+                           "scatter": result["scatter"]})
+
+    assert abs(measured["slope_us_per_iteration"] - 61.827) < 2.0
+    assert 0.85 <= measured["r_squared"] <= 0.97
+    assert measured["residual_skewness"] > 1.0

@@ -1,0 +1,38 @@
+"""Benchmark: Figure 4 — sensitivity to the estimator coefficient.
+
+Paper (realistic right-skewed jitter, 1 min at 1000 msg/s/sender): best
+latency near 60 µs/iteration, nearly flat 60-62, rising toward 48 and
+70; out-of-order under 10% and probes ~1.5/message at the optimum.
+"""
+
+from conftest import once
+
+from repro.experiments.common import format_table
+from repro.experiments.fig4_sensitivity import best_coefficient, run_fig4
+from repro.sim.kernel import seconds
+
+
+def test_fig4_sensitivity(benchmark, full_scale, record_result):
+    duration = seconds(60) if full_scale else seconds(3)
+    coefficients = (tuple(range(48, 71, 2)) if full_scale
+                    else (48, 52, 56, 58, 60, 62, 64, 68))
+    rows = once(benchmark, lambda: run_fig4(duration=duration,
+                                            coefficients_us=coefficients))
+
+    print("\n=== Figure 4: sensitivity to estimator coefficient ===")
+    print("paper: minimum at 60-62us/iter (regression said 61.827); "
+          "OOO <10%, ~1.5 probes/msg at optimum")
+    print(format_table(rows, ["coefficient_us", "det_latency_us",
+                              "nondet_latency_us", "out_of_order_fraction",
+                              "probes_per_message"]))
+    best = best_coefficient(rows)
+    print(f"measured best coefficient: {best} us/iteration")
+    record_result("fig4", {"rows": rows, "best_coefficient_us": best})
+
+    assert 56 <= best <= 64
+    by_coeff = {r["coefficient_us"]: r for r in rows}
+    assert by_coeff[48]["det_latency_us"] > by_coeff[best]["det_latency_us"]
+    assert by_coeff[68 if 68 in by_coeff else 70]["det_latency_us"] \
+        > by_coeff[best]["det_latency_us"]
+    assert by_coeff[best]["out_of_order_fraction"] < 0.10
+    assert by_coeff[best]["probes_per_message"] < 2.5

@@ -1,0 +1,32 @@
+"""Benchmark: Figure 5 — two-engine distributed run, lazy vs curiosity.
+
+Paper: curiosity-based silence propagation keeps deterministic execution
+within ~20% of non-deterministic latency on a real two-machine
+deployment; lazy silence is several times worse (multi-millisecond
+latencies in the figure).
+"""
+
+from conftest import once
+
+from repro.experiments.common import format_table
+from repro.experiments.fig5_distributed import run_fig5
+
+
+def test_fig5_distributed(benchmark, full_scale, record_result):
+    n_requests = 3000 if full_scale else 800
+    result = once(benchmark, lambda: run_fig5(n_requests=n_requests))
+
+    print("\n=== Figure 5: two-engine distributed implementation ===")
+    print("paper: det+curiosity < 20% over non-det; det+lazy far worse")
+    print(format_table(result["summary"]))
+    print(format_table(result["series"][:12]))
+    record_result("fig5", {"summary": result["summary"],
+                           "series": result["series"]})
+
+    summary = {row["mode"]: row for row in result["summary"]}
+    nondet = summary["nondeterministic"]["mean_latency_ms"]
+    curiosity = summary["deterministic-curiosity"]["mean_latency_ms"]
+    lazy = summary["deterministic-lazy"]["mean_latency_ms"]
+    assert nondet < curiosity < lazy
+    assert summary["deterministic-curiosity"]["overhead_pct"] < 35
+    assert lazy / nondet > 1.6

@@ -1,0 +1,90 @@
+"""Micro-benchmarks of the substrates (not paper figures).
+
+Wall-clock cost of the pieces everything else is built on: the event
+kernel, the reliable channel, checkpoint serialization, and the
+deterministic scheduler's per-message path.  Useful for spotting
+regressions that would silently stretch every experiment.
+"""
+
+import random
+
+from repro.runtime import checkpoint as cpser
+from repro.runtime.link import ReliableChannel
+from repro.sim.distributions import Constant
+from repro.sim.kernel import Simulator, us
+
+
+def test_kernel_event_throughput(benchmark):
+    def run_events():
+        sim = Simulator()
+
+        def chain(remaining):
+            if remaining:
+                sim.after(10, lambda: chain(remaining - 1))
+
+        chain(20_000)
+        sim.run()
+        return sim.events_executed
+
+    executed = benchmark(run_events)
+    assert executed == 20_000
+
+
+def test_reliable_channel_throughput(benchmark):
+    def run_channel():
+        sim = Simulator()
+        received = []
+        channel = ReliableChannel(sim, random.Random(0), "bench",
+                                  deliver=received.append,
+                                  delay=Constant(us(10)))
+        for i in range(5_000):
+            channel.send(i)
+        sim.run()
+        return len(received)
+
+    delivered = benchmark(run_channel)
+    assert delivered == 5_000
+
+
+def test_checkpoint_serialization(benchmark):
+    state = {
+        "components": {
+            f"c{i}": {
+                "cells": {"counts": {f"word{j:03d}": j for j in range(200)}},
+                "component_vt": i * 1_000_000,
+                "pending": [(i, j, f"payload-{j}") for j in range(20)],
+            }
+            for i in range(5)
+        }
+    }
+
+    def roundtrip():
+        return cpser.loads(cpser.dumps(state))
+
+    restored = benchmark(roundtrip)
+    assert restored == state
+
+
+def test_scheduler_message_path(benchmark):
+    """End-to-end per-message cost of the deterministic runtime."""
+    from repro.apps.wordcount import birth_of, build_wordcount_app, sentence_factory
+    from repro.runtime.app import Deployment
+    from repro.runtime.engine import EngineConfig
+    from repro.runtime.placement import single_engine_placement
+    from repro.sim.kernel import ms, seconds
+
+    def run_deployment():
+        app = build_wordcount_app(2)
+        dep = Deployment(app,
+                         single_engine_placement(app.component_names()),
+                         engine_config=EngineConfig(),
+                         control_delay=us(10), birth_of=birth_of)
+        factory = sentence_factory()
+        for i in (1, 2):
+            dep.add_poisson_producer(f"ext{i}", factory,
+                                     mean_interarrival=ms(1))
+        dep.run(until=seconds(1))
+        return dep.metrics.latency_count()
+
+    messages = benchmark(run_deployment)
+    assert messages > 1_500

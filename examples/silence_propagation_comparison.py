@@ -1,0 +1,90 @@
+"""Comparing silence-propagation strategies on a distributed deployment.
+
+Run:  python examples/silence_propagation_comparison.py
+
+Recreates the paper's Figure 5 scenario interactively: two constant-time
+senders on one engine, a merger on another, a real link in between —
+then runs the identical workload under non-deterministic scheduling and
+under deterministic scheduling with each silence policy, printing the
+latency ladder.  Lazy silence is the cautionary tale; curiosity keeps
+determinism affordable; aggressive heartbeats trade background messages
+for even less waiting.
+"""
+
+from repro import (
+    AggressiveSilencePolicy,
+    CuriositySilencePolicy,
+    Deployment,
+    EngineConfig,
+    LazySilencePolicy,
+    Placement,
+    ms,
+    us,
+)
+from repro.apps.fanin import build_fanin_app, request_factory
+from repro.apps.wordcount import birth_of
+from repro.runtime.transport import LinkParams
+from repro.sim.distributions import Normal
+from repro.sim.jitter import NormalTickJitter
+
+N_REQUESTS = 1000
+
+POLICIES = {
+    "non-deterministic": None,
+    "det + lazy silence": LazySilencePolicy,
+    "det + curiosity": CuriositySilencePolicy,
+    "det + aggressive": lambda: AggressiveSilencePolicy(interval=us(200)),
+}
+
+
+def run(policy_name):
+    policy_factory = POLICIES[policy_name]
+    app = build_fanin_app(2)
+    config = EngineConfig(
+        mode="nondeterministic" if policy_factory is None else "deterministic",
+        policy_factory=policy_factory or CuriositySilencePolicy,
+        jitter=NormalTickJitter(),
+    )
+    deployment = Deployment(
+        app,
+        Placement({"sender1": "E1", "sender2": "E1", "merger": "E2"}),
+        engine_config=config,
+        default_link=LinkParams(delay=Normal(us(100), us(10))),
+        control_delay=us(5),
+        birth_of=birth_of,
+        master_seed=42,
+    )
+    for i in (1, 2):
+        deployment.add_poisson_producer(
+            f"ext{i}", request_factory(),
+            mean_interarrival=us(1250), max_messages=N_REQUESTS // 2,
+        )
+    deployment.run(until=ms(1.25 * N_REQUESTS * 4))
+    return deployment.metrics
+
+
+def main():
+    print(f"{N_REQUESTS} web requests through 2 senders -> merger, "
+          f"100us link\n")
+    baseline = None
+    header = (f"{'mode':>22}  {'mean':>9}  {'p95':>9}  {'overhead':>9}  "
+              f"{'probes/msg':>10}  {'advances':>8}")
+    print(header)
+    print("-" * len(header))
+    for name in POLICIES:
+        metrics = run(name)
+        mean = metrics.mean_latency_us()
+        if baseline is None:
+            baseline = mean
+        overhead = (mean - baseline) / baseline * 100
+        print(f"{name:>22}  {mean:>7.0f}us  "
+              f"{metrics.latency_percentile_us(95):>7.0f}us  "
+              f"{overhead:>8.1f}%  "
+              f"{metrics.probes_per_message():>10.2f}  "
+              f"{metrics.counter('silence_advances_sent'):>8}")
+    print("\npaper's Figure 5 finding: curiosity stays within ~20% of the "
+          "non-deterministic baseline;\nlazy silence costs multiples of it.")
+
+
+if __name__ == "__main__":
+    main()

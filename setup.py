@@ -1,0 +1,11 @@
+"""Legacy installation shim.
+
+Offline environments without the ``wheel`` package cannot use
+``pip install -e .`` (PEP 517 metadata generation requires
+``bdist_wheel``); ``python setup.py develop`` installs equivalently.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

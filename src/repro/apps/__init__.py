@@ -1,0 +1,40 @@
+"""Component applications used by the evaluation and the examples.
+
+* :mod:`~repro.apps.wordcount` — Code Body 1: word-counting senders
+  fanning into a merger (the paper's Figure 1 application).
+* :mod:`~repro.apps.fanin` — N constant-time senders into a merger (the
+  distributed Figure 5 application).
+* :mod:`~repro.apps.pipeline` — a stateful multi-stage stream pipeline.
+* :mod:`~repro.apps.callgraph` — two-way service calls (client/server).
+* :mod:`~repro.apps.streamjoin` — windowed keyed stream join, where the
+  merge order is semantics, not just performance.
+"""
+
+from repro.apps.wordcount import (
+    Merger,
+    WordCountSender,
+    build_wordcount_app,
+    make_merger_class,
+    make_sender_class,
+    sentence_factory,
+)
+from repro.apps.fanin import FanInMerger, FanInSender, build_fanin_app
+from repro.apps.pipeline import build_pipeline_app
+from repro.apps.callgraph import build_callgraph_app
+from repro.apps.streamjoin import build_streamjoin_app, make_join_class
+
+__all__ = [
+    "FanInMerger",
+    "FanInSender",
+    "Merger",
+    "WordCountSender",
+    "build_callgraph_app",
+    "build_fanin_app",
+    "build_pipeline_app",
+    "build_streamjoin_app",
+    "build_wordcount_app",
+    "make_join_class",
+    "make_merger_class",
+    "make_sender_class",
+    "sentence_factory",
+]

@@ -1,0 +1,90 @@
+"""Two-way service calls: a client/directory application.
+
+Exercises the paper's second interaction style — "bidirectional service
+calls with response" — end to end: the Frontend receives external
+requests, makes a blocking call to the Directory service (written with
+the generator idiom, this reproduction's analogue of the transformed
+blocking call), and forwards the resolved result.
+
+    requests --> Frontend --(call)--> Directory
+                     |
+                     v
+                    sink
+
+The Directory holds the authoritative state (a registry built from the
+requests themselves), so recovery of either side exercises call/reply
+replay and dedup.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from repro.core.component import Component, on_call, on_message
+from repro.core.cost import SegmentedCost, fixed_cost
+from repro.runtime.app import Application
+from repro.sim.kernel import us
+
+
+class Frontend(Component):
+    """Receives requests, resolves them via a service call, responds."""
+
+    def setup(self):
+        self.served = self.state.value("served", 0)
+        self.directory = self.service_port("directory")
+        self.out = self.output_port("out")
+
+    @on_message("request", cost=SegmentedCost(
+        [fixed_cost(us(15)), fixed_cost(us(10))]))
+    def handle(self, payload):
+        # Segment 0: validate and issue the lookup.
+        key = payload["key"]
+        resolution = yield self.directory.call({"key": key})
+        # Segment 1: combine and respond.
+        self.served.set(self.served.get() + 1)
+        self.out.send({
+            "key": key,
+            "resolved": resolution["value"],
+            "hits": resolution["hits"],
+            "served": self.served.get(),
+            "birth": payload["birth"],
+        })
+
+
+class Directory(Component):
+    """Stateful lookup service: registers keys on first sight."""
+
+    def setup(self):
+        self.table = self.state.map("table")
+
+    @on_call("lookup", cost=fixed_cost(us(25)))
+    def lookup(self, payload):
+        key = payload["key"]
+        entry = self.table.get(key)
+        if entry is None:
+            entry = {"value": f"val:{key}", "hits": 0}
+        entry = dict(entry)
+        entry["hits"] += 1
+        self.table[key] = entry
+        return {"value": entry["value"], "hits": entry["hits"]}
+
+
+def request_factory(n_keys: int = 16):
+    """Payload factory producing lookup requests over ``n_keys`` keys."""
+
+    def factory(rng: random.Random, index: int, now: int) -> Dict:
+        return {"key": f"k{rng.randrange(n_keys)}", "birth": now}
+
+    return factory
+
+
+def build_callgraph_app() -> Application:
+    """Frontend calling Directory; externals ``requests``/``sink``."""
+    app = Application("callgraph")
+    app.add_component("frontend", Frontend)
+    app.add_component("directory", Directory)
+    app.external_input("requests", "frontend", "request")
+    app.wire_call("frontend", "directory", "directory", "lookup")
+    app.external_output("frontend", "out", "sink")
+    return app

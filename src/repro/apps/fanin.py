@@ -1,0 +1,121 @@
+"""Constant-time fan-in: the distributed (Figure 5) application.
+
+"We ran an actual multi-engine implementation ... using a variation of
+the application of Figure 1, but with constant-time services and ad-hoc
+estimators.  The Sender components were on one engine, the Merger on a
+second."  Requests play the role of the paper's "web requests".
+
+Senders do fixed-cost work per request (e.g. parsing/session lookup) and
+forward a record to the merger; the merger does fixed-cost work (e.g.
+joining against its running state) and emits the response.  "Ad-hoc
+estimators" are modelled by letting the declared estimate differ from
+the true cost by a configurable error factor.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Type
+
+from repro.core.component import Component, on_message
+from repro.core.cost import CostModel
+from repro.core.estimators import ConstantEstimator
+from repro.runtime.app import Application
+from repro.sim.kernel import us
+
+
+def make_fanin_sender_class(service_time: int = us(200),
+                            estimate_error: float = 1.0,
+                            name: str = "FanInSender") -> Type[Component]:
+    """Constant-cost sender; estimator = true cost x ``estimate_error``."""
+    cost = CostModel(
+        estimator=ConstantEstimator(int(round(service_time * estimate_error))),
+        true_per_feature={},
+        true_intercept=service_time,
+        min_features={},
+    )
+
+    class _Sender(Component):
+        """Fixed-cost request pre-processor."""
+
+        def setup(self):
+            self.handled = self.state.value("handled", 0)
+            self.out = self.output_port("out")
+
+        @on_message("request", cost=cost)
+        def handle_request(self, payload):
+            self.handled.set(self.handled.get() + 1)
+            self.out.send({
+                "request": payload["request"],
+                "birth": payload["birth"],
+                "hops": payload.get("hops", 0) + 1,
+            })
+
+    _Sender.__name__ = name
+    _Sender.__qualname__ = name
+    return _Sender
+
+
+def make_fanin_merger_class(service_time: int = us(300),
+                            estimate_error: float = 1.0,
+                            name: str = "FanInMerger") -> Type[Component]:
+    """Constant-cost merger; estimator = true cost x ``estimate_error``."""
+    cost = CostModel(
+        estimator=ConstantEstimator(int(round(service_time * estimate_error))),
+        true_per_feature={},
+        true_intercept=service_time,
+        min_features={},
+    )
+
+    class _Merger(Component):
+        """Fixed-cost response producer with running state."""
+
+        def setup(self):
+            self.merged = self.state.value("merged", 0)
+            self.out = self.output_port("out")
+
+        @on_message("input", cost=cost)
+        def merge(self, payload):
+            self.merged.set(self.merged.get() + 1)
+            self.out.send({
+                "response": self.merged.get(),
+                "request": payload["request"],
+                "birth": payload["birth"],
+            })
+
+    _Merger.__name__ = name
+    _Merger.__qualname__ = name
+    return _Merger
+
+
+#: Default classes (exact estimators).
+FanInSender = make_fanin_sender_class()
+FanInMerger = make_fanin_merger_class()
+
+
+def request_factory():
+    """Payload factory producing numbered web requests."""
+
+    def factory(rng: random.Random, index: int, now: int) -> Dict:
+        return {"request": index, "birth": now}
+
+    return factory
+
+
+def build_fanin_app(
+    n_senders: int = 2,
+    sender_class: Optional[Type[Component]] = None,
+    merger_class: Optional[Type[Component]] = None,
+) -> Application:
+    """N senders fanning into one merger; externals ``ext<i>``/``sink``."""
+    sender_class = sender_class or FanInSender
+    merger_class = merger_class or FanInMerger
+    app = Application("fanin")
+    for i in range(1, n_senders + 1):
+        app.add_component(f"sender{i}", sender_class)
+    app.add_component("merger", merger_class)
+    for i in range(1, n_senders + 1):
+        app.external_input(f"ext{i}", f"sender{i}", "request")
+        app.wire(f"sender{i}", "out", "merger", "input")
+    app.external_output("merger", "out", "sink")
+    return app

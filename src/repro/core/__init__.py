@@ -1,0 +1,80 @@
+"""TART core: the paper's primary contribution.
+
+This package implements the deterministic component runtime:
+
+* the component programming model (:mod:`~repro.core.component`,
+  :mod:`~repro.core.state`, :mod:`~repro.core.ports`),
+* virtual-time estimation (:mod:`~repro.core.cost`,
+  :mod:`~repro.core.estimators`, :mod:`~repro.core.calibration`),
+* deterministic pessimistic scheduling (:mod:`~repro.core.scheduler`)
+  and the non-deterministic baseline
+  (:mod:`~repro.core.nondet_scheduler`),
+* silence propagation policies (:mod:`~repro.core.silence_policy`),
+* determinism faults (:mod:`~repro.core.determinism_fault`).
+"""
+
+from repro.core.component import Component, on_message, on_call
+from repro.core.cost import CostModel, LinearCost, SegmentedCost, fixed_cost
+from repro.core.estimators import (
+    ConstantEstimator,
+    Estimator,
+    LinearEstimator,
+    SwitchableEstimator,
+)
+from repro.core.calibration import LinearRegressionCalibrator, RegressionResult
+from repro.core.message import (
+    CallReply,
+    CallRequest,
+    CheckpointAck,
+    CheckpointData,
+    CuriosityProbe,
+    DataMessage,
+    ReplayRequest,
+    SilenceAdvance,
+    StableNotice,
+)
+from repro.core.silence_policy import (
+    AggressiveSilencePolicy,
+    BiasSilencePolicy,
+    CuriositySilencePolicy,
+    HyperAggressiveSilencePolicy,
+    LazySilencePolicy,
+    PreProbingCuriositySilencePolicy,
+    SilencePolicy,
+)
+from repro.core.state import MapCell, StateRegistry, ValueCell
+
+__all__ = [
+    "AggressiveSilencePolicy",
+    "BiasSilencePolicy",
+    "CallReply",
+    "CallRequest",
+    "CheckpointAck",
+    "CheckpointData",
+    "Component",
+    "ConstantEstimator",
+    "CostModel",
+    "CuriosityProbe",
+    "CuriositySilencePolicy",
+    "DataMessage",
+    "Estimator",
+    "HyperAggressiveSilencePolicy",
+    "LazySilencePolicy",
+    "LinearCost",
+    "LinearEstimator",
+    "LinearRegressionCalibrator",
+    "MapCell",
+    "PreProbingCuriositySilencePolicy",
+    "RegressionResult",
+    "ReplayRequest",
+    "SegmentedCost",
+    "SilenceAdvance",
+    "SilencePolicy",
+    "StableNotice",
+    "StateRegistry",
+    "SwitchableEstimator",
+    "ValueCell",
+    "fixed_cost",
+    "on_call",
+    "on_message",
+]

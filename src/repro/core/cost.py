@@ -1,0 +1,205 @@
+"""Handler cost models.
+
+A cost model describes the execution cost of one message handler along
+two axes that TART must keep separate:
+
+* the **true nominal cost** — the physical time the computation "really"
+  takes on an ideal machine; the jitter model perturbs this to produce
+  the actual simulated duration;
+* the **estimated cost** — what the (possibly wrong, possibly
+  re-calibrated) estimator predicts; this is what virtual times are built
+  from.
+
+Both are driven by a deterministic **feature vector** extracted from the
+input payload — the paper's basic-block execution counts ξ.  In the
+Java system the transformation inserts block counters; here the component
+author supplies the extractor (e.g. ``lambda sent: {"loop": len(sent)}``
+for Code Body 1, whose iteration count is known from the input).
+
+Prescience (paper III.A) is a property of *probe answers*, not of
+estimation: a prescient sender knows its remaining iteration count when
+probed mid-execution; a non-prescient one must assume the minimum.  The
+cost model exposes :meth:`CostModel.min_features` for the non-prescient
+answer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.core.estimators import ConstantEstimator, Estimator, LinearEstimator, SwitchableEstimator
+from repro.errors import ComponentError
+
+FeatureExtractor = Callable[[object], Dict[str, int]]
+
+
+def _no_features(_payload: object) -> Dict[str, int]:
+    return {}
+
+
+class CostModel:
+    """Cost description for a single-segment handler (no service calls)."""
+
+    def __init__(
+        self,
+        estimator: Estimator,
+        features: Optional[FeatureExtractor] = None,
+        true_per_feature: Optional[Mapping[str, int]] = None,
+        true_intercept: int = 0,
+        min_features: Optional[Mapping[str, int]] = None,
+    ):
+        self.estimator = SwitchableEstimator(estimator)
+        self._extract = features or _no_features
+        self._true = LinearEstimator(true_per_feature or {}, true_intercept)
+        self._min_features: Dict[str, int] = dict(min_features or {})
+        self.segments = 1
+
+    # -- features -------------------------------------------------------
+    def features(self, payload: object) -> Dict[str, int]:
+        """Deterministic feature vector (block counts) for ``payload``."""
+        feats = self._extract(payload)
+        if not isinstance(feats, dict):
+            raise ComponentError("feature extractor must return a dict")
+        return feats
+
+    def min_features(self) -> Dict[str, int]:
+        """Feature vector of the cheapest possible execution.
+
+        Used for non-prescient curiosity answers: a busy sender that does
+        not know its remaining work promises only the minimum.
+        """
+        return dict(self._min_features)
+
+    # -- costs ----------------------------------------------------------
+    def true_nominal(self, features: Mapping[str, int]) -> int:
+        """Physical nominal cost in ticks (input to the jitter model)."""
+        return self._true.estimate(features)
+
+    def estimated(self, features: Mapping[str, int], at_vt: int) -> int:
+        """Estimated cost using the estimator revision in force at ``at_vt``."""
+        return self.estimator.estimate_at(features, at_vt)
+
+    def min_estimated(self, at_vt: int) -> int:
+        """Estimated cost of the cheapest execution (non-prescient bound)."""
+        return self.estimator.estimate_at(self._min_features, at_vt)
+
+    def segment(self, index: int) -> "CostModel":
+        """The cost model of segment ``index`` (trivial for one segment)."""
+        if index != 0:
+            raise ComponentError(f"single-segment cost model has no segment {index}")
+        return self
+
+    def clone(self) -> "CostModel":
+        """Fresh copy with a pristine estimator revision history.
+
+        Cost models are declared once on the handler *function* (class
+        level); every component runtime clones them so determinism-fault
+        revisions stay local to one engine incarnation and never leak
+        across deployments or replicas.
+        """
+        initial = self.estimator.revisions()[0][1]
+        fresh = CostModel(initial, self._extract, min_features=self._min_features)
+        fresh._true = self._true
+        return fresh
+
+    def __repr__(self) -> str:
+        return f"CostModel(est={self.estimator!r}, true={self._true!r})"
+
+
+class LinearCost(CostModel):
+    """Convenience: linear estimator whose truth defaults to its estimate.
+
+    ``per_feature`` gives the *initial* estimator coefficients (ticks per
+    block execution); ``true_per_feature`` overrides the physical truth
+    when studying inaccurate estimators (paper Figure 4 sweeps the
+    estimator coefficient while the physical cost stays fixed).
+    """
+
+    def __init__(
+        self,
+        per_feature: Mapping[str, int],
+        features: FeatureExtractor,
+        intercept: int = 0,
+        true_per_feature: Optional[Mapping[str, int]] = None,
+        true_intercept: Optional[int] = None,
+        min_features: Optional[Mapping[str, int]] = None,
+    ):
+        if min_features is None:
+            # Cheapest execution: every counted block runs once.
+            min_features = {name: 1 for name in per_feature}
+        super().__init__(
+            estimator=LinearEstimator(per_feature, intercept),
+            features=features,
+            true_per_feature=true_per_feature if true_per_feature is not None else per_feature,
+            true_intercept=true_intercept if true_intercept is not None else intercept,
+            min_features=min_features,
+        )
+
+
+def fixed_cost(ticks: int) -> CostModel:
+    """A handler that always costs ``ticks`` (both truly and estimated)."""
+    return CostModel(
+        estimator=ConstantEstimator(ticks),
+        features=_no_features,
+        true_per_feature={},
+        true_intercept=ticks,
+        min_features={},
+    )
+
+
+class SegmentedCost:
+    """Cost model for a generator handler containing service calls.
+
+    A handler that performs ``n`` two-way calls has ``n + 1`` execution
+    segments; each segment gets its own :class:`CostModel`.  All segments
+    share the feature vector extracted from the original input payload.
+    """
+
+    def __init__(self, segments: Sequence[CostModel],
+                 features: Optional[FeatureExtractor] = None):
+        if not segments:
+            raise ComponentError("segmented cost needs at least one segment")
+        self._segments: List[CostModel] = list(segments)
+        self._extract = features or segments[0].features
+        self.segments = len(segments)
+        # The first segment's estimator is the one the calibrator retunes.
+        self.estimator = self._segments[0].estimator
+
+    def features(self, payload: object) -> Dict[str, int]:
+        """Feature vector shared by all segments."""
+        return self._extract(payload)
+
+    def min_features(self) -> Dict[str, int]:
+        """Minimum features of the first segment (probe lower bound)."""
+        return self._segments[0].min_features()
+
+    def segment(self, index: int) -> CostModel:
+        """Cost model of execution segment ``index``."""
+        try:
+            return self._segments[index]
+        except IndexError:
+            raise ComponentError(
+                f"handler yielded more calls than its {self.segments}-segment "
+                f"cost model declares"
+            ) from None
+
+    def true_nominal(self, features: Mapping[str, int]) -> int:
+        """Total physical cost across all segments."""
+        return sum(seg.true_nominal(features) for seg in self._segments)
+
+    def estimated(self, features: Mapping[str, int], at_vt: int) -> int:
+        """Total estimated cost across all segments."""
+        return sum(seg.estimated(features, at_vt) for seg in self._segments)
+
+    def min_estimated(self, at_vt: int) -> int:
+        """Cheapest-execution estimate of the first segment."""
+        return self._segments[0].min_estimated(at_vt)
+
+    def clone(self) -> "SegmentedCost":
+        """Fresh copy with pristine per-segment estimators."""
+        return SegmentedCost(
+            [seg.clone() for seg in self._segments], self._extract
+        )
+
+    def __repr__(self) -> str:
+        return f"SegmentedCost({self.segments} segments)"

@@ -1,0 +1,156 @@
+"""Ports and wires.
+
+Components interact *only* through ports (the paper's "components do not
+share memory" restriction):
+
+* :class:`OutputPort` — one-way asynchronous send.  A port may be wired
+  to several receivers (fan-out); each attachment is its own wire.
+* :class:`ServicePort` — two-way call with reply.  Handlers performing
+  calls are generators: ``reply = yield port.call(payload)``.
+* :class:`WireSpec` — static description of one wire, fixed at
+  deployment ("the code and wiring of the components are known prior to
+  deployment").  Wire ids are globally unique and provide the
+  deterministic tie-break of paper footnote 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.core.estimators import CommDelayEstimator
+from repro.errors import ComponentError, WiringError
+
+
+@dataclass(frozen=True)
+class WireSpec:
+    """One directed wire in the application graph.
+
+    ``kind`` is one of ``"data"`` (one-way send), ``"call"`` (service
+    request), ``"reply"`` (service response), or ``"external"`` (ingress
+    from an external producer / egress to an external consumer).
+    """
+
+    wire_id: int
+    kind: str
+    src_component: Optional[str]  # None for external ingress
+    src_port: Optional[str]
+    dst_component: Optional[str]  # None for external egress
+    dst_input: Optional[str]
+    delay_estimator: CommDelayEstimator = field(
+        default_factory=lambda: CommDelayEstimator(0)
+    )
+
+    def __str__(self) -> str:
+        src = f"{self.src_component}.{self.src_port}" if self.src_component else "<external>"
+        dst = f"{self.dst_component}.{self.dst_input}" if self.dst_component else "<external>"
+        return f"wire#{self.wire_id} {src} -> {dst} [{self.kind}]"
+
+
+class OutputPort:
+    """A one-way output declared by a component in ``setup()``.
+
+    ``send`` does not transmit immediately: sends are buffered by the
+    runtime while the handler executes and released when the handler's
+    (simulated) computation completes, each stamped with its estimated
+    virtual arrival time.
+    """
+
+    def __init__(self, component: "Component", name: str):
+        self.component = component
+        self.name = name
+        #: Wire specs attached at deployment (fan-out allowed).
+        self.wires: List[WireSpec] = []
+
+    def attach(self, wire: WireSpec) -> None:
+        """Bind a wire to this port (deployment-time only)."""
+        if any(w.wire_id == wire.wire_id for w in self.wires):
+            raise WiringError(f"wire {wire.wire_id} already attached to {self}")
+        self.wires.append(wire)
+
+    def send(self, payload: Any) -> None:
+        """Queue ``payload`` for delivery on every attached wire."""
+        runtime = self.component._runtime
+        if runtime is None:
+            raise ComponentError(
+                f"{self.component.name}.{self.name}: send outside a deployed runtime"
+            )
+        runtime.queue_send(self, payload)
+
+    def send_at(self, payload: Any, vt: int) -> None:
+        """Queue ``payload`` with a user-supplied virtual time.
+
+        The time-aware-component extension the paper's discussion
+        anticipates ("timestamps represent arrival deadlines"): the
+        message is scheduled to be processed at virtual time ``vt``
+        rather than at the estimator's completion time.  ``vt`` must be
+        a deterministic function of the component's inputs (like any
+        estimate) and must not precede the earliest causally possible
+        delivery, or the runtime rejects it.
+        """
+        runtime = self.component._runtime
+        if runtime is None:
+            raise ComponentError(
+                f"{self.component.name}.{self.name}: send outside a deployed runtime"
+            )
+        runtime.queue_send(self, payload, at_vt=int(vt))
+
+    def __repr__(self) -> str:
+        return f"OutputPort({self.component.name}.{self.name}, wires={len(self.wires)})"
+
+
+class CallTicket:
+    """A pending two-way call, produced by :meth:`ServicePort.call`.
+
+    Handlers yield the ticket; the runtime sends the request, suspends
+    the component, and resumes the generator with the reply payload.
+    """
+
+    __slots__ = ("port", "payload")
+
+    def __init__(self, port: "ServicePort", payload: Any):
+        self.port = port
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return f"CallTicket({self.port.component.name}.{self.port.name})"
+
+
+class ServicePort(OutputPort):
+    """A two-way service-call port.
+
+    Exactly one call wire (plus its paired reply wire) may be attached:
+    a service port targets one service.
+    """
+
+    def __init__(self, component: "Component", name: str):
+        super().__init__(component, name)
+        self.reply_wire: Optional[WireSpec] = None
+
+    def attach(self, wire: WireSpec) -> None:
+        if self.wires:
+            raise WiringError(
+                f"service port {self.component.name}.{self.name} already wired"
+            )
+        super().attach(wire)
+
+    def attach_reply(self, wire: WireSpec) -> None:
+        """Bind the reply wire (created automatically at deployment)."""
+        if self.reply_wire is not None:
+            raise WiringError(
+                f"service port {self.component.name}.{self.name} already has a reply wire"
+            )
+        self.reply_wire = wire
+
+    def call(self, payload: Any) -> CallTicket:
+        """Create a call ticket; must be ``yield``-ed by the handler."""
+        if not self.wires:
+            raise WiringError(
+                f"service port {self.component.name}.{self.name} is not wired"
+            )
+        return CallTicket(self, payload)
+
+    def send(self, payload: Any) -> None:
+        raise ComponentError(
+            f"service port {self.component.name}.{self.name}: use call(), not send()"
+        )

@@ -1,0 +1,237 @@
+"""Silence propagation policies (paper II.G.3, II.H).
+
+"The most naive treatment of silence is lazy silence propagation ...
+Other approaches involve curiosity-driven silence, in which a receiver
+that is engaged in a pessimism delay explicitly requests the sender to
+compute a new silence interval, and aggressive silence, in which senders
+that have not sent silence for some time explicitly send it without
+asking."  Hyper-aggressive silence (the bias algorithm of [11]) eagerly
+marks future ticks silent, constraining future outputs.
+
+The paper's key observation, which this design preserves: lazy,
+curiosity and aggressive techniques "can be arbitrarily mixed and/or
+dynamically changed without requiring a determinism fault", because they
+change only *when* facts travel, never *which* ticks are silent.
+Hyper-aggressive promises are different — they are **binding** (they
+raise the sender's output floor) and are therefore part of the estimator;
+changing the bias at runtime requires a determinism fault.
+
+A policy instance is bound to exactly one
+:class:`~repro.core.scheduler.ComponentRuntime` and receives callbacks on
+both its receiver side (pessimism delays) and its sender side (probes,
+completions, emissions).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import SchedulingError
+from repro.sim.kernel import us
+
+
+class SilencePolicy:
+    """Base policy: lazy behaviour on both sides.
+
+    Subclasses override the hooks they care about.  ``probe_backoff`` is
+    the minimum spacing between repeated probes of one wire after an
+    unhelpful answer (prevents probe storms while a sender is busy).
+    """
+
+    def __init__(self, probe_backoff: int = us(20)):
+        self.probe_backoff = int(probe_backoff)
+        self._runtime = None
+
+    def bind(self, runtime) -> None:
+        """Attach to a runtime; a policy instance serves exactly one."""
+        if self._runtime is not None:
+            raise SchedulingError("silence policy already bound to a runtime")
+        self._runtime = runtime
+
+    def stop(self) -> None:
+        """Release timers etc. (called when the hosting engine fails)."""
+
+    # -- receiver side ---------------------------------------------------
+    def on_pessimism_delay(self, runtime, blocking_wires: List[int],
+                           want_vt: int) -> None:
+        """Called whenever dispatch is blocked on unaccounted wires."""
+
+    def on_enqueued(self, runtime, msg) -> None:
+        """Called when a message is appended to a pending queue.
+
+        Fires even while the component is busy, letting eager policies
+        overlap silence acquisition with ongoing computation.
+        """
+
+    # -- sender side -------------------------------------------------------
+    def on_probe(self, runtime, wire_id: int, want_vt: int) -> None:
+        """Called when a curiosity probe arrives for one of our out-wires.
+
+        Even a lazy sender answers probes (a receiver running a curiosity
+        policy may sit downstream of a lazy sender); the *lazy* aspect is
+        that it never volunteers information.
+        """
+        runtime.publish_silence(wire_id, force=True)
+
+    def on_idle(self, runtime) -> None:
+        """Called when the runtime finds nothing pending."""
+
+    def on_complete(self, runtime, end_vt: int) -> None:
+        """Called after each handler completion."""
+
+    def on_emit(self, runtime, wire_id: int, sender, vt: int) -> None:
+        """Called for every emitted data tick."""
+
+    def __repr__(self) -> str:
+        return type(self).__name__
+
+
+class LazySilencePolicy(SilencePolicy):
+    """No probes, no volunteered silence; data ticks carry it implicitly.
+
+    "If a component sends a message at time t1, no silences are sent
+    until the next message at time t2" — under this policy a pessimism
+    delay lasts until the blocking sender's next data tick, which Figure
+    5 shows to be expensive.
+    """
+
+
+class CuriositySilencePolicy(SilencePolicy):
+    """Probe blocking senders during pessimism delays (paper II.H)."""
+
+    def on_pessimism_delay(self, runtime, blocking_wires, want_vt) -> None:
+        for wire_id in blocking_wires:
+            runtime.send_probe(wire_id, want_vt)
+
+
+class PreProbingCuriositySilencePolicy(CuriositySilencePolicy):
+    """Curiosity with probe/computation overlap (an extension).
+
+    The paper's curiosity is strictly reactive: a probe is sent only
+    once the receiver is already stuck, so every pessimism delay pays a
+    full probe round trip.  This variant also probes when a message is
+    *enqueued* behind ongoing work whose future dispatch will need
+    silence the receiver does not yet have — by the time the processor
+    frees up, the answer has usually arrived.  Like all non-binding
+    propagation choices (II.G.3), this changes only message timing,
+    never behaviour; the ablation benchmark quantifies the latency win.
+    """
+
+    def on_enqueued(self, runtime, msg) -> None:
+        best = runtime._best_candidate()
+        if best is None:
+            return
+        candidate, _wire = best
+        blocking = runtime.silence.blocking_wires(
+            candidate.vt, excluding=candidate.wire_id
+        )
+        for wire_id in blocking:
+            runtime.send_probe(wire_id, candidate.vt)
+
+
+class AggressiveSilencePolicy(CuriositySilencePolicy):
+    """Curiosity plus sender-side heartbeats.
+
+    Every ``interval`` of real time the sender publishes a fresh silence
+    fact on each out-wire that has news, without waiting to be asked.
+    """
+
+    def __init__(self, interval: int = us(200), probe_backoff: int = us(20)):
+        super().__init__(probe_backoff)
+        if interval <= 0:
+            raise SchedulingError("heartbeat interval must be positive")
+        self.interval = int(interval)
+        self._stopped = False
+
+    def bind(self, runtime) -> None:
+        super().bind(runtime)
+        if runtime.out_specs or True:
+            # Wires may be attached after bind; the heartbeat re-reads
+            # out_specs each firing.
+            runtime.services.sim.after(
+                self.interval, self._heartbeat, "silence-heartbeat"
+            )
+
+    def stop(self) -> None:
+        self._stopped = True
+
+    def _heartbeat(self) -> None:
+        if self._stopped:
+            return
+        runtime = self._runtime
+        for wire_id, spec in runtime.out_specs.items():
+            if spec.kind == "reply":
+                continue
+            runtime.publish_silence(wire_id)
+        runtime.services.sim.after(
+            self.interval, self._heartbeat, "silence-heartbeat"
+        )
+
+
+def _emit_bias(runtime, wire_id: int, sender, vt: int, bias: int) -> None:
+    """Apply and publish a binding bias promise after a data tick."""
+    promise = vt + bias
+    sender.promise_silence(promise, binding=True)
+    spec = runtime.out_specs[wire_id]
+    if spec.kind != "reply":
+        from repro.core.message import SilenceAdvance
+
+        runtime.services.send_control(
+            spec, SilenceAdvance(wire_id, promise), False
+        )
+        runtime.services.metrics.count("silence_advances_sent")
+
+
+class BiasSilencePolicy(LazySilencePolicy):
+    """The pure bias algorithm of [11]: lazy propagation plus eager
+    binding promises riding on each data tick.
+
+    This is the paper's II.G.1 setting — "in the absence of aggressive
+    silence propagation protocols, it is actually better for the virtual
+    time estimates not to exactly match real-time" — isolated from
+    probing and heartbeats.  ``bias`` should approximate the sender's
+    inter-output gap; the sender's own messages are delayed up to
+    ``bias`` in exchange for never blocking faster competitors.
+    """
+
+    def __init__(self, bias: int, probe_backoff: int = us(20)):
+        super().__init__(probe_backoff)
+        if bias < 0:
+            raise SchedulingError("bias must be non-negative")
+        self.bias = int(bias)
+
+    def on_emit(self, runtime, wire_id: int, sender, vt: int) -> None:
+        _emit_bias(runtime, wire_id, sender, vt, self.bias)
+
+
+class HyperAggressiveSilencePolicy(AggressiveSilencePolicy):
+    """Aggressive plus the bias algorithm's eager binding promises.
+
+    After emitting a data tick at virtual time *t*, the sender promises
+    silence through *t + bias* — "eagerly marks certain ticks as silent
+    before knowing whether they normally would be silent or not" — and
+    accepts that its own future outputs are pushed past the promise.
+    Useful when this sender is much slower than its competitors: the
+    fast senders' messages stop waiting for it.
+
+    ``bias`` is part of the effective estimator; changing it at runtime
+    requires a determinism fault (see
+    :mod:`repro.core.determinism_fault`).
+    """
+
+    def __init__(self, bias: int, interval: int = us(200),
+                 probe_backoff: int = us(20)):
+        super().__init__(interval, probe_backoff)
+        if bias < 0:
+            raise SchedulingError("bias must be non-negative")
+        self.bias = int(bias)
+
+    def on_emit(self, runtime, wire_id: int, sender, vt: int) -> None:
+        _emit_bias(runtime, wire_id, sender, vt, self.bias)
+
+
+class NullSilencePolicy(SilencePolicy):
+    """Policy for the non-deterministic baseline: fully inert."""
+
+    def on_probe(self, runtime, wire_id, want_vt) -> None:
+        pass

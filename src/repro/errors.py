@@ -1,0 +1,80 @@
+"""Exception hierarchy for the TART reproduction.
+
+Every error raised by the library derives from :class:`TartError`, so
+applications embedding the runtime can catch one base class.  Errors are
+split along the package layers: simulation kernel, virtual-time substrate,
+component model, scheduling, and recovery.
+"""
+
+from __future__ import annotations
+
+
+class TartError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(TartError):
+    """The discrete-event simulation kernel was used incorrectly."""
+
+
+class VirtualTimeError(TartError):
+    """A virtual-time invariant was violated.
+
+    Raised, for example, when a component attempts to emit a message whose
+    virtual time is not strictly in the future of its current virtual
+    time, which would break causality (paper section II.D, requirement
+    that causally later events have later virtual times).
+    """
+
+
+class SilenceViolationError(VirtualTimeError):
+    """A sender emitted a data tick inside a range it promised was silent.
+
+    Silence promises are monotonic facts; a violation indicates a broken
+    estimator or a mis-implemented silence policy, and would destroy
+    determinism, so we fail loudly.
+    """
+
+
+class ComponentError(TartError):
+    """A component was defined or used incorrectly."""
+
+
+class WiringError(ComponentError):
+    """The application graph is malformed (unknown port, double wiring,
+    dangling service call, component placed on no engine, ...)."""
+
+
+class StateError(ComponentError):
+    """Checkpointable state was used outside the declared cells, or a
+    checkpoint could not be captured/restored."""
+
+
+class SchedulingError(TartError):
+    """The deterministic scheduler detected an impossible situation."""
+
+
+class DeterminismFaultError(TartError):
+    """A determinism fault could not be logged synchronously.
+
+    Determinism faults (estimator re-calibrations) must reach stable
+    storage before taking effect; if the log is unavailable the fault must
+    not be applied (paper section II.G.4).
+    """
+
+
+class RecoveryError(TartError):
+    """Failover or replay could not complete."""
+
+
+class ReplayGapError(RecoveryError):
+    """A gap in the tick sequence could not be filled by any sender.
+
+    This means a message range was lost and no retained buffer, log, or
+    deterministic re-execution can regenerate it — unrecoverable under the
+    paper's single-failure assumption.
+    """
+
+
+class TransportError(TartError):
+    """The inter-engine transport was misconfigured or misused."""

@@ -1,0 +1,62 @@
+"""Evaluation harness: one module per paper table/figure.
+
+Every experiment is a pure function from parameters to a list of row
+dicts, so benchmarks, tests, and the command-line entry points share one
+implementation.  Default parameters reproduce the paper's configuration;
+benchmarks pass scaled-down durations.
+
+| Module | Paper result |
+| --- | --- |
+| :mod:`~repro.experiments.fig2_regression` | Fig. 2 — estimator calibration by linear regression |
+| :mod:`~repro.experiments.fig3_variability` | Fig. 3 — latency vs sender variability, 3 modes |
+| :mod:`~repro.experiments.dumb_estimator` | §III.A — crude estimator overhead growth |
+| :mod:`~repro.experiments.throughput` | §III.A — saturation equality of det/non-det |
+| :mod:`~repro.experiments.fig4_sensitivity` | Fig. 4 — sensitivity to the estimator coefficient |
+| :mod:`~repro.experiments.fig5_distributed` | Fig. 5 — two-engine run, lazy vs curiosity |
+| :mod:`~repro.experiments.recovery` | §II.F — failover/replay correctness + recovery time |
+| :mod:`~repro.experiments.ablations` | §II.G — checkpoint frequency, silence policies, re-tuning |
+"""
+
+from repro.experiments.common import Fig1Params, format_table, run_fig1
+from repro.experiments.fig2_regression import run_fig2
+from repro.experiments.fig3_variability import run_fig3
+from repro.experiments.dumb_estimator import run_dumb_estimator
+from repro.experiments.throughput import run_throughput
+from repro.experiments.fig4_sensitivity import run_fig4
+from repro.experiments.fig5_distributed import run_fig5
+from repro.experiments.recovery import run_recovery
+from repro.experiments.ablations import (
+    run_bias_ablation,
+    run_checkpoint_ablation,
+    run_detection_ablation,
+    run_retuning_ablation,
+    run_silence_policy_ablation,
+)
+from repro.experiments.extensions import (
+    run_comm_estimator_ablation,
+    run_preprobe_ablation,
+    run_priority_ablation,
+)
+from repro.experiments.alternatives import run_alternatives
+
+__all__ = [
+    "Fig1Params",
+    "format_table",
+    "run_alternatives",
+    "run_bias_ablation",
+    "run_checkpoint_ablation",
+    "run_comm_estimator_ablation",
+    "run_detection_ablation",
+    "run_dumb_estimator",
+    "run_preprobe_ablation",
+    "run_priority_ablation",
+    "run_fig1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_recovery",
+    "run_retuning_ablation",
+    "run_silence_policy_ablation",
+    "run_throughput",
+]

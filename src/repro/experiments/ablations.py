@@ -1,0 +1,323 @@
+"""Ablations over the paper's tuning controls (section II.G).
+
+* **Checkpoint frequency** — "more frequent checkpointing reduces
+  recovery time but increases overhead": sweep the interval, report
+  recovery gap vs checkpoint traffic.
+* **Silence policies** — lazy / curiosity / aggressive /
+  hyper-aggressive on the same workload (II.G.3, II.H).
+* **Hyper-aggressive bias** — the bias algorithm's trade-off when one
+  sender is much slower than the other (II.G.1's closing paragraph).
+* **Dynamic re-tuning** — start with a badly calibrated estimator, let
+  drift detection trigger a determinism fault, and show latency before
+  vs after the re-calibration (II.G.4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.wordcount import (
+    birth_of,
+    build_wordcount_app,
+    make_merger_class,
+    make_sender_class,
+    sentence_factory,
+)
+from repro.core.estimators import LinearEstimator
+from repro.core.silence_policy import (
+    AggressiveSilencePolicy,
+    BiasSilencePolicy,
+    CuriositySilencePolicy,
+    HyperAggressiveSilencePolicy,
+    LazySilencePolicy,
+)
+from repro.experiments import recovery as recovery_mod
+from repro.runtime.app import Deployment
+from repro.runtime.engine import EngineConfig
+from repro.runtime.placement import single_engine_placement
+from repro.sim.jitter import NormalTickJitter
+from repro.sim.kernel import ms, seconds, us
+from repro.vt.time import TICKS_PER_US
+
+
+def run_checkpoint_ablation(
+    intervals: Sequence[int] = (ms(10), ms(25), ms(50), ms(100), ms(200)),
+    duration: int = seconds(2),
+    seed: int = 0,
+) -> List[Dict]:
+    """Sweep checkpoint interval; recovery gap vs checkpoint traffic."""
+    rows: List[Dict] = []
+    for interval in intervals:
+        result = recovery_mod.run_recovery(
+            duration=duration, checkpoint_interval=interval, seed=seed
+        )
+        rows.append({
+            "interval_ms": interval / 1_000_000,
+            "identical": result["identical_effective_output"],
+            "output_gap_ms": result["output_gap_ms"],
+            "messages_replayed": result["messages_replayed"],
+            "stutter": result["stutter"],
+            "checkpoints": result["checkpoints_captured"],
+            "checkpoint_bytes": result["checkpoint_bytes"],
+        })
+    return rows
+
+
+_POLICIES = {
+    "lazy": LazySilencePolicy,
+    "curiosity": CuriositySilencePolicy,
+    "aggressive": lambda: AggressiveSilencePolicy(interval=us(200)),
+    "hyper-aggressive": lambda: HyperAggressiveSilencePolicy(
+        bias=us(100), interval=us(200)
+    ),
+}
+
+
+def _run_policy(policy_name: str, duration: int, seed: int,
+                slow_factor: float = 1.0) -> Dict:
+    """One deterministic run of the Figure 1 app under a policy.
+
+    ``slow_factor`` scales sender 2's input rate down, creating the
+    asymmetric-rate situation the bias algorithm targets.
+    """
+    app = build_wordcount_app(2)
+    config = EngineConfig(
+        mode="deterministic",
+        policy_factory=_POLICIES[policy_name],
+        jitter=NormalTickJitter(),
+    )
+    deployment = Deployment(
+        app, single_engine_placement(app.component_names()),
+        engine_config=config, control_delay=us(10), birth_of=birth_of,
+        master_seed=seed,
+    )
+    factory = sentence_factory()
+    deployment.add_poisson_producer("ext1", factory, mean_interarrival=ms(1))
+    deployment.add_poisson_producer(
+        "ext2", factory, mean_interarrival=int(ms(1) * slow_factor)
+    )
+    deployment.run(until=duration)
+    metrics = deployment.metrics
+    return {
+        "policy": policy_name,
+        "mean_latency_us": metrics.mean_latency_us(),
+        "p95_latency_us": metrics.latency_percentile_us(95),
+        "probes_per_message": metrics.probes_per_message(),
+        "silence_advances": metrics.counter("silence_advances_sent"),
+        "pessimism_delay_us_per_msg": (
+            metrics.accumulator("pessimism_delay_ticks")
+            / max(1, metrics.latency_count()) / TICKS_PER_US
+        ),
+        "messages": metrics.latency_count(),
+    }
+
+
+def run_silence_policy_ablation(duration: int = seconds(2),
+                                seed: int = 0) -> List[Dict]:
+    """Compare all four silence policies on the symmetric workload."""
+    return [_run_policy(name, duration, seed) for name in _POLICIES]
+
+
+def run_bias_ablation(duration: int = seconds(2), seed: int = 0,
+                      slow_factor: float = 8.0,
+                      bias: Optional[int] = None) -> List[Dict]:
+    """The bias algorithm under asymmetric sender rates (paper II.G.1).
+
+    "In the absence of aggressive silence propagation protocols, it is
+    actually better for ... the process that is slower on the average to
+    eagerly promise more silence ticks and delay the next data tick ...
+    to improve the chance that messages from the faster process will not
+    be delayed."  All parties use lazy propagation (the setting where
+    bias matters); the slow sender, on its own engine, either does
+    nothing extra or runs the pure bias algorithm with ``bias`` matched
+    to its inter-output gap.
+    """
+    if bias is None:
+        # Half the slow sender's inter-output gap: enough to cover most
+        # of the gap, with headroom so bunched arrivals are not pushed
+        # into an ever-growing virtual-time queue.
+        bias = int(ms(1) * slow_factor / 2)
+    rows = []
+    for variant, slow_policy in (
+        ("lazy-everywhere", None),
+        ("lazy+bias-on-slow-sender",
+         lambda: BiasSilencePolicy(bias=bias)),
+    ):
+        app = build_wordcount_app(2)
+        from repro.runtime.placement import Placement
+
+        placement = Placement({"sender1": "E1", "sender2": "E2",
+                               "merger": "E1"})
+        base_config = EngineConfig(mode="deterministic",
+                                   jitter=NormalTickJitter(),
+                                   policy_factory=LazySilencePolicy)
+        configs = {}
+        if slow_policy is not None:
+            configs["E2"] = EngineConfig(
+                mode="deterministic", jitter=NormalTickJitter(),
+                policy_factory=slow_policy,
+            )
+        deployment = Deployment(
+            app, placement, engine_config=base_config,
+            engine_configs=configs, control_delay=us(10),
+            birth_of=birth_of, master_seed=seed,
+        )
+        deployment.add_poisson_producer(
+            "ext1", sentence_factory(origin="fast"), mean_interarrival=ms(1))
+        deployment.add_poisson_producer(
+            "ext2", sentence_factory(origin="slow"),
+            mean_interarrival=int(ms(1) * slow_factor))
+        deployment.run(until=duration)
+        metrics = deployment.metrics
+        by_origin: Dict[str, List[int]] = {"fast": [], "slow": []}
+        for _seq, _vt, payload, real in \
+                deployment.consumer("sink").effective_outputs:
+            if payload.get("origin") in by_origin:
+                by_origin[payload["origin"]].append(real - payload["birth"])
+
+        def mean_us(samples: List[int]) -> float:
+            return (sum(samples) / len(samples) / TICKS_PER_US
+                    if samples else float("nan"))
+
+        rows.append({
+            "variant": variant,
+            "slow_factor": slow_factor,
+            "fast_latency_us": mean_us(by_origin["fast"]),
+            "slow_latency_us": mean_us(by_origin["slow"]),
+            "mean_latency_us": metrics.mean_latency_us(),
+            "pessimism_delay_us_per_msg": (
+                metrics.accumulator("pessimism_delay_ticks")
+                / max(1, metrics.latency_count()) / TICKS_PER_US
+            ),
+            "messages": metrics.latency_count(),
+        })
+    return rows
+
+
+def run_detection_ablation(
+    intervals: Sequence[int] = (ms(1), ms(5), ms(20)),
+    miss_limit: int = 3,
+    duration: int = seconds(2),
+    seed: int = 0,
+) -> List[Dict]:
+    """Heartbeat period vs recovery downtime (organic detection).
+
+    With heartbeat detection the downtime is ``interval x miss_limit``
+    plus promotion; shorter heartbeats buy faster recovery for more
+    background traffic — the detection-side twin of the checkpoint
+    frequency trade-off.
+    """
+    from repro.runtime.failure import FailureInjector
+    from repro.runtime.placement import Placement
+    from repro.runtime.transport import LinkParams
+    from repro.sim.distributions import Constant
+
+    rows: List[Dict] = []
+    for interval in intervals:
+        app = build_wordcount_app(2)
+        deployment = Deployment(
+            app,
+            Placement({"sender1": "E1", "sender2": "E1", "merger": "E2"}),
+            engine_config=EngineConfig(
+                jitter=NormalTickJitter(),
+                checkpoint_interval=ms(40),
+                heartbeat_interval=interval,
+                heartbeat_miss_limit=miss_limit,
+            ),
+            default_link=LinkParams(delay=Constant(us(80))),
+            control_delay=us(10), birth_of=birth_of, master_seed=seed,
+        )
+        factory = sentence_factory()
+        for i in (1, 2):
+            deployment.add_poisson_producer(f"ext{i}", factory,
+                                            mean_interarrival=ms(1))
+        kill_at = duration // 2
+        FailureInjector(deployment).kill_engine("E2", at=kill_at)
+        deployment.run(until=duration)
+        metrics = deployment.metrics
+        # With organic detection the recovery manager only sees the
+        # detection moment; end-to-end downtime shows up as the output
+        # gap around the kill.
+        deliveries = [t for _s, _v, _p, t in
+                      deployment.consumer("sink").effective_outputs]
+        gap = 0
+        for before, after in zip(deliveries, deliveries[1:]):
+            if before <= kill_at <= after:
+                gap = max(gap, after - before)
+        rows.append({
+            "heartbeat_ms": interval / 1_000_000,
+            "timeout_ms": interval * miss_limit / 1_000_000,
+            "output_gap_ms": gap / 1_000_000,
+            "failovers": deployment.recovery.failover_count(),
+            "false_detections": sum(
+                d.detections for d in deployment.detectors.values()
+            ) - deployment.recovery.failover_count(),
+            "messages": metrics.latency_count(),
+        })
+    return rows
+
+
+def run_retuning_ablation(duration: int = seconds(6),
+                          bad_coefficient_us: int = 90,
+                          seed: int = 0) -> Dict:
+    """Determinism-fault re-calibration: latency before vs after.
+
+    The sender starts with a badly over-estimating coefficient; the
+    engine's drift monitor fires a determinism fault that installs the
+    regression fit, and latency drops for the remainder of the run.
+    """
+    sender_class = make_sender_class(
+        per_iteration_true=us(60),
+        estimator=LinearEstimator({"loop": us(bad_coefficient_us)}),
+    )
+    app = build_wordcount_app(2, sender_class, make_merger_class())
+    config = EngineConfig(
+        mode="deterministic",
+        jitter=NormalTickJitter(),
+        calibrate=True,
+        drift_window=100,
+        drift_threshold=0.05,
+        recalibrate_cooldown_samples=200,
+    )
+    deployment = Deployment(
+        app, single_engine_placement(app.component_names()),
+        engine_config=config, control_delay=us(10), birth_of=birth_of,
+        master_seed=seed,
+    )
+    factory = sentence_factory()
+    for i in (1, 2):
+        deployment.add_poisson_producer(f"ext{i}", factory,
+                                        mean_interarrival=ms(1))
+    deployment.run(until=duration)
+    metrics = deployment.metrics
+    latencies = metrics.latencies
+    half = len(latencies) // 2
+    first = sum(latencies[:half]) / max(1, half) / TICKS_PER_US
+    second = sum(latencies[half:]) / max(1, len(latencies) - half) / TICKS_PER_US
+    fault_log = deployment.fault_logs["engine0"]
+    return {
+        "bad_coefficient_us": bad_coefficient_us,
+        "determinism_faults": metrics.counter("determinism_faults"),
+        "fault_records": len(fault_log),
+        "first_half_latency_us": first,
+        "second_half_latency_us": second,
+        "improvement_pct": (first - second) / first * 100.0 if first else 0.0,
+        "messages": len(latencies),
+    }
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    from repro.experiments.common import format_table
+
+    print("II.G — checkpoint interval")
+    print(format_table(run_checkpoint_ablation()))
+    print("\nII.G — silence policies")
+    print(format_table(run_silence_policy_ablation()))
+    print("\nII.G — bias under asymmetric rates")
+    print(format_table(run_bias_ablation()))
+    print("\nII.G — dynamic re-tuning")
+    print(run_retuning_ablation())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,75 @@
+"""Section III.A's dumb-estimator study.
+
+"We re-ran the experiment, this time substituting a 'dumb' estimator
+that always predicted a computation time of 600 µs — the average
+computation time per message over all executions.  In this version of
+the experiment, the overhead of determinism varied considerably as a
+function of the standard deviation ... it steadily increases, reaching a
+high of 13% for the case where the number of iterations is in the range
+from 1 to 19", while in the constant-work case the dumb estimator
+"slightly outperforms the smart estimator with non-prescient silence
+estimates".
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.estimators import ConstantEstimator
+from repro.experiments.common import Fig1Params, overhead_pct, run_fig1
+from repro.experiments.fig3_variability import DEFAULT_SPREADS, compute_time_sd_us
+from repro.sim.kernel import seconds, us
+from repro.vt.time import TICKS_PER_US
+
+
+def run_dumb_estimator(duration: int = seconds(5),
+                       spreads: Sequence[int] = DEFAULT_SPREADS,
+                       dumb_estimate: int = us(600),
+                       seed: int = 0,
+                       base: Optional[Fig1Params] = None) -> List[Dict]:
+    """Smart vs dumb estimator overhead across the variability sweep."""
+    base = base or Fig1Params()
+    rows: List[Dict] = []
+    for half_width in spreads:
+        sweep = replace(
+            base,
+            duration=duration,
+            iterations_low=10 - half_width,
+            iterations_high=10 + half_width,
+            seed=seed,
+        )
+        baseline = run_fig1(replace(sweep, mode="nondeterministic"))
+        smart = run_fig1(replace(sweep, mode="deterministic"))
+        dumb = run_fig1(replace(
+            sweep, mode="deterministic",
+            estimator=ConstantEstimator(dumb_estimate),
+        ))
+        base_us = baseline.mean_latency_us()
+        rows.append({
+            "sd_us": compute_time_sd_us(
+                half_width, sweep.per_iteration / TICKS_PER_US
+            ),
+            "half_width": half_width,
+            "nondet_latency_us": base_us,
+            "smart_latency_us": smart.mean_latency_us(),
+            "dumb_latency_us": dumb.mean_latency_us(),
+            "smart_overhead_pct": overhead_pct(base_us, smart.mean_latency_us()),
+            "dumb_overhead_pct": overhead_pct(base_us, dumb.mean_latency_us()),
+            "dumb_probes_per_message": dumb.probes_per_message(),
+        })
+    return rows
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    from repro.experiments.common import format_table
+
+    rows = run_dumb_estimator()
+    print("III.A — dumb (600 µs constant) vs smart estimator")
+    print(format_table(rows, ["sd_us", "smart_overhead_pct",
+                              "dumb_overhead_pct",
+                              "dumb_probes_per_message"]))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

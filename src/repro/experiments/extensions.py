@@ -1,0 +1,250 @@
+"""Ablations for the reproduction's extension features.
+
+Three studies that push past the paper's evaluation, along directions
+its discussion explicitly opens:
+
+* **Pre-probing** — §II.H's curiosity is strictly reactive; overlapping
+  probes with ongoing computation hides the probe round trip (relevant
+  to Figure 5's residual overhead).
+* **Thread priorities under CPU contention** — §II.G.2: "Dynamically
+  changing the priority of these threads to slow down the fast threads
+  or speed up the slow ones may improve overhead."
+* **Load-correlated communication-delay estimators** — §II.G.1 / future
+  work: delay estimates driven by "the number of messages sent within a
+  recent number of virtual ticks", against a link with finite bandwidth
+  where queueing delay really does grow with load.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.apps.fanin import (
+    build_fanin_app,
+    make_fanin_merger_class,
+    make_fanin_sender_class,
+    request_factory,
+)
+from repro.apps.wordcount import (
+    birth_of,
+    build_wordcount_app,
+    sentence_factory,
+)
+from repro.core.estimators import QueueCorrelatedDelayEstimator
+from repro.core.silence_policy import (
+    CuriositySilencePolicy,
+    PreProbingCuriositySilencePolicy,
+)
+from repro.runtime.app import Application, Deployment
+from repro.runtime.engine import EngineConfig
+from repro.runtime.placement import Placement, single_engine_placement
+from repro.runtime.transport import LinkParams
+from repro.sim.distributions import Constant, Normal
+from repro.sim.jitter import NormalTickJitter
+from repro.sim.kernel import ms, seconds, us
+from repro.vt.time import TICKS_PER_US
+
+
+def run_preprobe_ablation(n_requests: int = 2000, seed: int = 0) -> List[Dict]:
+    """Reactive vs pre-probing curiosity on the Figure 5 deployment."""
+    rows: List[Dict] = []
+    for mode, policy_factory in (
+        ("nondeterministic", None),
+        ("curiosity (reactive)", CuriositySilencePolicy),
+        ("curiosity (pre-probing)", PreProbingCuriositySilencePolicy),
+    ):
+        app = build_fanin_app(2, make_fanin_sender_class(us(300)),
+                              make_fanin_merger_class(us(500)))
+        config = EngineConfig(
+            mode="nondeterministic" if policy_factory is None
+            else "deterministic",
+            policy_factory=policy_factory or CuriositySilencePolicy,
+            jitter=NormalTickJitter(),
+        )
+        deployment = Deployment(
+            app, Placement({"sender1": "E1", "sender2": "E1",
+                            "merger": "E2"}),
+            engine_config=config,
+            default_link=LinkParams(delay=Normal(us(100), us(10))),
+            control_delay=us(5), birth_of=birth_of, master_seed=seed,
+        )
+        for i in (1, 2):
+            deployment.add_poisson_producer(
+                f"ext{i}", request_factory(),
+                mean_interarrival=us(1250), max_messages=n_requests // 2,
+            )
+        deployment.run(until=n_requests * us(1250) * 4)
+        metrics = deployment.metrics
+        rows.append({
+            "mode": mode,
+            "mean_latency_us": metrics.mean_latency_us(),
+            "probes_per_message": metrics.probes_per_message(),
+            "pessimism_delay_us_per_msg": (
+                metrics.accumulator("pessimism_delay_ticks")
+                / max(1, metrics.latency_count()) / TICKS_PER_US
+            ),
+            "messages": metrics.latency_count(),
+        })
+    baseline = rows[0]["mean_latency_us"]
+    for row in rows:
+        row["overhead_pct"] = ((row["mean_latency_us"] - baseline)
+                               / baseline * 100.0)
+    return rows
+
+
+def run_priority_ablation(duration: int = seconds(2), shared_cpus: int = 2,
+                          seed: int = 0) -> List[Dict]:
+    """Static vs vt-lag thread priorities when CPUs are shared (II.G.2)."""
+    rows: List[Dict] = []
+    for label, mode, priority_mode in (
+        ("nondeterministic", "nondeterministic", "static"),
+        ("det / static priorities", "deterministic", "static"),
+        ("det / vt-lag priorities", "deterministic", "vt-lag"),
+    ):
+        app = build_wordcount_app(2)
+        deployment = Deployment(
+            app, single_engine_placement(app.component_names()),
+            engine_config=EngineConfig(
+                mode=mode, jitter=NormalTickJitter(),
+                shared_cpus=shared_cpus, priority_mode=priority_mode,
+            ),
+            control_delay=us(10), birth_of=birth_of, master_seed=seed,
+        )
+        factory = sentence_factory()
+        for i in (1, 2):
+            deployment.add_poisson_producer(f"ext{i}", factory,
+                                            mean_interarrival=int(ms(1.25)))
+        deployment.run(until=duration)
+        metrics = deployment.metrics
+        pool = deployment.engine("engine0")._pool
+        rows.append({
+            "variant": label,
+            "mean_latency_us": metrics.mean_latency_us(),
+            "p95_latency_us": metrics.latency_percentile_us(95),
+            "pessimism_delay_us_per_msg": (
+                metrics.accumulator("pessimism_delay_ticks")
+                / max(1, metrics.latency_count()) / TICKS_PER_US
+            ),
+            "cpu_queue_ms": pool.queued_ticks / 1_000_000 if pool else 0.0,
+            "messages": metrics.latency_count(),
+        })
+    baseline = rows[0]["mean_latency_us"]
+    for row in rows:
+        row["overhead_pct"] = ((row["mean_latency_us"] - baseline)
+                               / baseline * 100.0)
+    return rows
+
+
+def make_burst_sender_class(service_time: int, burst: int,
+                            name: str = "BurstSender"):
+    """A sender that fans each request out into ``burst`` records.
+
+    Back-to-back records serialize onto the link one after another, so
+    the k-th record of a burst really arrives ~k serialization quanta
+    late — the load-dependent delay a queue-correlated estimator can
+    predict and a constant one cannot.
+    """
+    from repro.core.component import Component, on_message
+    from repro.core.cost import CostModel
+    from repro.core.estimators import ConstantEstimator
+
+    cost = CostModel(estimator=ConstantEstimator(service_time),
+                     true_per_feature={}, true_intercept=service_time,
+                     min_features={})
+
+    class _Burst(Component):
+        def setup(self):
+            self.handled = self.state.value("handled", 0)
+            self.out = self.output_port("out")
+
+        @on_message("request", cost=cost)
+        def handle_request(self, payload):
+            self.handled.set(self.handled.get() + 1)
+            for part in range(burst):
+                self.out.send({
+                    "request": payload["request"], "part": part,
+                    "birth": payload["birth"],
+                })
+
+    _Burst.__name__ = name
+    _Burst.__qualname__ = name
+    return _Burst
+
+
+def run_comm_estimator_ablation(duration: int = seconds(3),
+                                link_delay: int = us(100),
+                                serialize: int = us(150),
+                                burst: int = 4,
+                                seed: int = 0) -> List[Dict]:
+    """Constant vs load-correlated delay estimators on a finite link.
+
+    The inter-engine link serializes one frame per ``serialize`` ticks
+    and each request fans out into a burst, so later burst records
+    experience real queueing.  A constant estimator stamps the whole
+    burst with one delay; the queue-correlated estimator predicts the
+    backlog from the recent-emission count (a deterministic quantity)
+    and keeps virtual times near real arrival times.
+    """
+    rows: List[Dict] = []
+    base_estimate = link_delay + serialize
+    estimators = {
+        "constant (expected delay)": None,  # falls back to the mean
+        "queue-correlated": QueueCorrelatedDelayEstimator(
+            base_estimate, serialize,
+            window_ticks=2 * burst * serialize),
+    }
+    for label, estimator in estimators.items():
+        app = Application("comm-ablation")
+        sender_class = make_burst_sender_class(us(100), burst)
+        merger_class = make_fanin_merger_class(us(100))
+        app.add_component("sender1", sender_class)
+        app.add_component("sender2", sender_class)
+        app.add_component("merger", merger_class)
+        for i in (1, 2):
+            app.external_input(f"ext{i}", f"sender{i}", "request")
+            app.wire(f"sender{i}", "out", "merger", "input",
+                     delay_estimate=None if estimator else base_estimate,
+                     delay_estimator=estimator)
+        app.external_output("merger", "out", "sink")
+        deployment = Deployment(
+            app, Placement({"sender1": "E1", "sender2": "E1",
+                            "merger": "E2"}),
+            engine_config=EngineConfig(jitter=NormalTickJitter()),
+            default_link=LinkParams(delay=Constant(link_delay),
+                                    serialize_ticks=serialize),
+            control_delay=us(5), birth_of=birth_of, master_seed=seed,
+        )
+        for i in (1, 2):
+            deployment.add_poisson_producer(
+                f"ext{i}", request_factory(),
+                mean_interarrival=int(ms(1) * burst * 0.75))
+        deployment.run(until=duration)
+        metrics = deployment.metrics
+        rows.append({
+            "delay_estimator": label,
+            "mean_latency_us": metrics.mean_latency_us(),
+            "p95_latency_us": metrics.latency_percentile_us(95),
+            "out_of_order_fraction": metrics.out_of_order_fraction(),
+            "pessimism_delay_us_per_msg": (
+                metrics.accumulator("pessimism_delay_ticks")
+                / max(1, metrics.latency_count()) / TICKS_PER_US
+            ),
+            "probes_per_message": metrics.probes_per_message(),
+            "messages": metrics.latency_count(),
+        })
+    return rows
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    from repro.experiments.common import format_table
+
+    print("extension: pre-probing curiosity")
+    print(format_table(run_preprobe_ablation()))
+    print("\nextension: thread priorities under CPU contention")
+    print(format_table(run_priority_ablation()))
+    print("\nextension: load-correlated communication-delay estimators")
+    print(format_table(run_comm_estimator_ablation()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

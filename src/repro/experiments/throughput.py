@@ -1,0 +1,88 @@
+"""Section III.A's throughput study.
+
+"We estimated throughput by increasing the message rates of the external
+clients from the initial 1000 messages/second gradually until the system
+became unstable due to inability to keep up with message rates.  In both
+deterministic and non-deterministic execution modes, the system
+saturated at 1235 messages/second."
+
+The merger's capacity bound is 400 µs/event with two senders, i.e. 1250
+msg/s/sender; the paper's point is that determinism costs *no*
+throughput — both modes saturate at the same rate just below that bound.
+We ramp the per-sender rate and detect instability as sustained latency
+growth between the first and last third of the run (a stable queue's
+latency is stationary; an overloaded queue's grows without bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.common import Fig1Params, run_fig1
+from repro.sim.kernel import TICKS_PER_S, seconds
+
+#: Default per-sender rates (messages/second) to ramp through.
+DEFAULT_RATES = (1000, 1100, 1150, 1200, 1225, 1250, 1275, 1300)
+
+
+def _growth_ratio(latencies: List[int]) -> float:
+    """Mean latency of the last third divided by the first third."""
+    if len(latencies) < 30:
+        return 1.0
+    third = len(latencies) // 3
+    first = sum(latencies[:third]) / third
+    last = sum(latencies[-third:]) / third
+    if first <= 0:
+        return 1.0
+    return last / first
+
+
+def run_throughput(duration: int = seconds(5),
+                   rates: Sequence[int] = DEFAULT_RATES,
+                   growth_threshold: float = 2.0,
+                   seed: int = 0,
+                   base: Optional[Fig1Params] = None) -> List[Dict]:
+    """Ramp the offered rate in both modes; one row per (rate, mode)."""
+    base = base or Fig1Params()
+    rows: List[Dict] = []
+    for mode in ("nondeterministic", "deterministic"):
+        for rate in rates:
+            interarrival = TICKS_PER_S // rate
+            metrics = run_fig1(replace(
+                base, mode=mode, duration=duration,
+                mean_interarrival=interarrival, seed=seed,
+            ))
+            growth = _growth_ratio(metrics.latencies)
+            rows.append({
+                "mode": mode,
+                "rate_per_sender": rate,
+                "mean_latency_us": metrics.mean_latency_us(),
+                "p95_latency_us": metrics.latency_percentile_us(95),
+                "growth_ratio": growth,
+                "stable": growth < growth_threshold,
+                "messages": metrics.latency_count(),
+            })
+    return rows
+
+
+def saturation_point(rows: List[Dict], mode: str) -> Optional[int]:
+    """Highest stable rate for one mode (None if none were stable)."""
+    stable = [r["rate_per_sender"] for r in rows
+              if r["mode"] == mode and r["stable"]]
+    return max(stable) if stable else None
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    from repro.experiments.common import format_table
+
+    rows = run_throughput()
+    print("III.A — throughput saturation")
+    print(format_table(rows, ["mode", "rate_per_sender", "mean_latency_us",
+                              "growth_ratio", "stable"]))
+    for mode in ("nondeterministic", "deterministic"):
+        print(f"saturation ({mode}): {saturation_point(rows, mode)} msg/s/sender")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,33 @@
+"""Distributed execution substrate.
+
+Hosts the deterministic core on a simulated distributed system: execution
+engines (:mod:`~repro.runtime.engine`), a reliable-FIFO transport built
+over lossy links (:mod:`~repro.runtime.link`,
+:mod:`~repro.runtime.transport`), stable logging of external inputs
+(:mod:`~repro.runtime.message_log`), passive replicas and failover
+(:mod:`~repro.runtime.replica`, :mod:`~repro.runtime.recovery`), external
+producers/consumers (:mod:`~repro.runtime.external`), fault injection
+(:mod:`~repro.runtime.failure`), and the application/deployment builder
+(:mod:`~repro.runtime.app`, :mod:`~repro.runtime.placement`).
+"""
+
+from repro.runtime.app import Application, Deployment, EngineConfig
+from repro.runtime.engine import ExecutionEngine
+from repro.runtime.external import ExternalConsumer, ExternalIngress, PoissonProducer
+from repro.runtime.failure import FailureInjector
+from repro.runtime.metrics import MetricSet
+from repro.runtime.placement import Placement, round_robin_placement
+
+__all__ = [
+    "Application",
+    "Deployment",
+    "EngineConfig",
+    "ExecutionEngine",
+    "ExternalConsumer",
+    "ExternalIngress",
+    "FailureInjector",
+    "MetricSet",
+    "Placement",
+    "PoissonProducer",
+    "round_robin_placement",
+]

@@ -1,0 +1,83 @@
+"""Checkpoint serialization.
+
+Soft checkpoints travel from an active engine to its passive replica as
+bytes (paper II.F.2: the scheduler "serializes them and sends them to the
+partner").  The encoder below is deliberately *canonical* — dict keys are
+sorted, tuples and bytes are tagged — so that two identical states always
+produce identical bytes.  Tests use this property to assert replay
+equality at the byte level.
+
+Supported value types: ``None``, ``bool``, ``int``, ``float``, ``str``,
+``bytes``, ``list``, ``tuple``, and ``dict`` with str/int/tuple keys.
+This covers everything component state cells and runtime snapshots
+contain; anything else is a hard error (a component trying to checkpoint
+an open socket should fail loudly, not pickle it).
+"""
+
+from __future__ import annotations
+
+import json
+from base64 import b64decode, b64encode
+from typing import Any
+
+from repro.errors import StateError
+
+_TAG = "__t__"
+
+
+def _encode(obj: Any) -> Any:
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, bytes):
+        return {_TAG: "b", "v": b64encode(obj).decode("ascii")}
+    if isinstance(obj, tuple):
+        return {_TAG: "t", "v": [_encode(x) for x in obj]}
+    if isinstance(obj, list):
+        return [_encode(x) for x in obj]
+    if isinstance(obj, dict):
+        items = []
+        for key, value in obj.items():
+            items.append([_encode_key(key), _encode(value)])
+        items.sort(key=lambda kv: json.dumps(kv[0], sort_keys=True))
+        return {_TAG: "d", "v": items}
+    raise StateError(f"unserializable checkpoint value of type {type(obj).__name__}")
+
+
+def _encode_key(key: Any) -> Any:
+    if isinstance(key, (str, int, bool)) or key is None:
+        return _encode(key)
+    if isinstance(key, (tuple, bytes)):
+        return _encode(key)
+    raise StateError(f"unserializable dict key of type {type(key).__name__}")
+
+
+def _decode(obj: Any) -> Any:
+    if isinstance(obj, list):
+        return [_decode(x) for x in obj]
+    if isinstance(obj, dict):
+        tag = obj.get(_TAG)
+        if tag == "b":
+            return b64decode(obj["v"])
+        if tag == "t":
+            return tuple(_decode(x) for x in obj["v"])
+        if tag == "d":
+            return {_decode(k): _decode(v) for k, v in obj["v"]}
+        raise StateError(f"corrupt checkpoint: unknown tag {tag!r}")
+    return obj
+
+
+def dumps(obj: Any) -> bytes:
+    """Serialize ``obj`` to canonical bytes."""
+    return json.dumps(_encode(obj), sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    )
+
+
+def loads(blob: bytes) -> Any:
+    """Inverse of :func:`dumps`."""
+    return _decode(json.loads(blob.decode("utf-8")))
+
+
+def checkpoint_size(blob: bytes) -> int:
+    """Size in bytes (convenience for overhead accounting)."""
+    return len(blob)

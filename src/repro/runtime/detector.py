@@ -1,0 +1,134 @@
+"""Heartbeat-based failure detection.
+
+The paper takes failure detection as given ("If an engine fails, its
+passive backup becomes active").  This module supplies the missing
+piece: each active engine sends periodic heartbeats to its passive
+replica; the replica-side :class:`HeartbeatDetector` declares the engine
+dead after ``miss_limit`` consecutive silent periods and triggers the
+recovery manager.  With the detector enabled, a fail-stop injected by
+:class:`~repro.runtime.failure.FailureInjector` (or any other cause of
+engine silence) is noticed *organically* — nothing tells the recovery
+path out of band.
+
+Detection time is therefore ``~ miss_limit * heartbeat_interval`` plus
+one transit, and it trades against false positives under delay spikes —
+the classic dilemma, exposed here as two knobs and measured by the
+detection ablation in :mod:`repro.experiments.ablations`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import RecoveryError
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """Periodic liveness beacon from an active engine."""
+
+    engine_id: str
+    seq: int
+
+
+class HeartbeatEmitter:
+    """Engine-side: sends a heartbeat to the replica every interval."""
+
+    def __init__(self, engine, interval: int):
+        if interval <= 0:
+            raise RecoveryError("heartbeat interval must be positive")
+        self.engine = engine
+        self.interval = int(interval)
+        self._seq = 0
+
+    def start(self) -> None:
+        """Begin emitting."""
+        self.engine.sim.after(self.interval, self._tick,
+                              f"hb:{self.engine.engine_id}")
+
+    def _tick(self) -> None:
+        if not self.engine.alive:
+            return  # fail-stop: the beacon dies with the engine
+        replica_id = self.engine.config.replica_id
+        if replica_id is not None:
+            self.engine.network.send(
+                self.engine.node_id, replica_id,
+                Heartbeat(self.engine.engine_id, self._seq),
+            )
+            self._seq += 1
+        self.engine.sim.after(self.interval, self._tick,
+                              f"hb:{self.engine.engine_id}")
+
+
+class HeartbeatDetector:
+    """Replica-side: declares the engine dead after missed heartbeats.
+
+    Attach with :meth:`watch`; the detector re-arms its timeout on every
+    heartbeat (delivered to it by the replica's ``receive`` hook) and
+    fires :meth:`RecoveryManager.engine_failed` with zero additional
+    detection delay — the heartbeat timeout *is* the detection delay.
+    After a failover the new engine's emitter resumes and watching
+    continues automatically.
+    """
+
+    def __init__(self, sim, recovery, engine_id: str,
+                 interval: int, miss_limit: int = 3):
+        if miss_limit < 1:
+            raise RecoveryError("miss_limit must be >= 1")
+        self.sim = sim
+        self.recovery = recovery
+        self.engine_id = engine_id
+        self.interval = int(interval)
+        self.miss_limit = int(miss_limit)
+        self._deadline_event = None
+        self._last_seq: Optional[int] = None
+        #: Number of times this detector has declared the engine dead.
+        self.detections = 0
+        self._watching = False
+
+    @property
+    def timeout(self) -> int:
+        """Silent period after which the engine is declared dead."""
+        return self.interval * self.miss_limit
+
+    def watch(self) -> None:
+        """Start (or restart) watching."""
+        self._watching = True
+        self._arm()
+
+    def on_heartbeat(self, beat: Heartbeat) -> None:
+        """Feed one received heartbeat; re-arms the deadline."""
+        if beat.engine_id != self.engine_id:
+            return
+        self._last_seq = beat.seq
+        if self._watching:
+            self._arm()
+
+    def _arm(self) -> None:
+        if self._deadline_event is not None:
+            self._deadline_event.cancel()
+        self._deadline_event = self.sim.after(
+            self.timeout, self._expired, f"hb-timeout:{self.engine_id}"
+        )
+
+    def _expired(self) -> None:
+        self._deadline_event = None
+        if not self._watching:
+            return
+        if self.recovery.in_progress(self.engine_id):
+            # Promotion already underway; just keep watching.
+            self._arm()
+            return
+        self.detections += 1
+        # The timeout already covers the detection delay; promote now.
+        self.recovery.engine_failed(self.engine_id, detection_delay=0)
+        # Keep watching: the promoted engine resumes heartbeats; if IT
+        # dies too, we detect again.
+        self._arm()
+
+    def stop(self) -> None:
+        """Stop watching (deployment teardown)."""
+        self._watching = False
+        if self._deadline_event is not None:
+            self._deadline_event.cancel()
+            self._deadline_event = None

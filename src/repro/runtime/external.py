@@ -1,0 +1,184 @@
+"""External producers, ingress timestamping, and external consumers.
+
+The application boundary (paper II.A): "A component-based application
+consists of a network of components that include at least one external
+producer of input, and at least one external consumer."
+
+* :class:`ExternalIngress` — the stable front door of one external input
+  wire.  It stamps each arriving payload with the current real time as
+  its virtual time, logs it (the only logging in the system), and hands
+  it to the destination engine.  The ingress survives engine failure and
+  serves replay requests from its log.
+* :class:`PoissonProducer` — the workload generator used throughout the
+  evaluation ("External clients fed messages into the Sender[i]
+  components via a Poisson process").
+* :class:`ExternalConsumer` — records delivered outputs, measures
+  end-to-end latency, and separates *effective* output from output
+  stutter (re-deliveries after failover, which "external clients can
+  easily compensate for").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.core.message import CuriosityProbe, DataMessage, ReplayRequest, SilenceAdvance, StableNotice
+from repro.core.ports import WireSpec
+from repro.errors import TransportError
+from repro.runtime.message_log import ExternalMessageLog
+from repro.sim.distributions import Distribution, Exponential
+from repro.vt.ticks import TickStreamReceiver
+
+
+class ExternalIngress:
+    """Stable ingress node for one external input wire."""
+
+    def __init__(self, node_id: str, sim, network, spec: WireSpec,
+                 dst_engine_id: str, log_latency: int = 0):
+        self.node_id = node_id
+        self.alive = True  # stable: never fails in the single-failure model
+        self.sim = sim
+        self.network = network
+        self.spec = spec
+        self.dst_engine_id = dst_engine_id
+        self.log = ExternalMessageLog(spec.wire_id, log_latency)
+
+    def offer(self, payload: Any) -> int:
+        """Timestamp, log, and deliver one external message.
+
+        The virtual time is the real arrival time — safe because the
+        message is logged first.  Two arrivals in the same tick get
+        consecutive virtual times (each tick on a wire carries at most
+        one data tick); the bump is a deterministic function of the
+        arrival sequence, so replay reproduces it from the log.
+        Returns the assigned sequence number.
+        """
+        vt = max(self.sim.now, self.log.last_vt() + 1)
+        seq = self.log.append(vt, payload)
+        self._deliver(DataMessage(self.spec.wire_id, seq, vt, payload))
+        return seq
+
+    def _deliver(self, msg: DataMessage) -> None:
+        self.network.send(self.node_id, self.dst_engine_id, msg)
+
+    def receive(self, item: Any) -> None:
+        """Handle control traffic addressed to this ingress."""
+        if isinstance(item, ReplayRequest):
+            for seq, vt, payload in self.log.entries_from(item.from_seq):
+                self._deliver(DataMessage(self.spec.wire_id, seq, vt, payload))
+            # Trailing advance: sound because it travels FIFO behind the
+            # replayed data, and it tells the restored engine the replay
+            # is complete (re-enabling its local external-horizon bound).
+            self.network.send(
+                self.node_id, self.dst_engine_id,
+                SilenceAdvance(self.spec.wire_id, self.sim.now - 1),
+            )
+            return
+        if isinstance(item, CuriosityProbe):
+            # Any future external message is stamped >= now, so the wire
+            # is provably silent through now - 1.
+            self.network.send(
+                self.node_id, self.dst_engine_id,
+                SilenceAdvance(self.spec.wire_id, self.sim.now - 1),
+            )
+            return
+        if isinstance(item, StableNotice):
+            self.log.truncate_through(item.through_seq)
+            return
+        raise TransportError(f"ingress {self.node_id}: unexpected {item!r}")
+
+
+class PoissonProducer:
+    """Feeds an ingress from a Poisson (or arbitrary-renewal) process."""
+
+    def __init__(self, sim, rng, ingress: ExternalIngress,
+                 payload_factory: Callable[[Any, int, int], Any],
+                 mean_interarrival: int,
+                 interarrival: Optional[Distribution] = None,
+                 max_messages: Optional[int] = None,
+                 stop_at: Optional[int] = None):
+        self.sim = sim
+        self.rng = rng
+        self.ingress = ingress
+        self.payload_factory = payload_factory
+        self.interarrival = interarrival or Exponential(mean_interarrival)
+        self.max_messages = max_messages
+        self.stop_at = stop_at
+        self.produced = 0
+        self._stopped = False
+
+    def start(self) -> None:
+        """Schedule the first arrival."""
+        self._schedule_next()
+
+    def stop(self) -> None:
+        """Produce no further messages."""
+        self._stopped = True
+
+    def _schedule_next(self) -> None:
+        gap = self.interarrival.sample(self.rng)
+        self.sim.after(gap, self._produce, f"producer:{self.ingress.node_id}")
+
+    def _produce(self) -> None:
+        if self._stopped:
+            return
+        if self.stop_at is not None and self.sim.now >= self.stop_at:
+            return
+        if self.max_messages is not None and self.produced >= self.max_messages:
+            return
+        payload = self.payload_factory(self.rng, self.produced, self.sim.now)
+        self.ingress.offer(payload)
+        self.produced += 1
+        self._schedule_next()
+
+
+class ExternalConsumer:
+    """Terminal node of one external output wire."""
+
+    def __init__(self, node_id: str, sim, metrics,
+                 birth_of: Optional[Callable[[Any], Optional[int]]] = None):
+        self.node_id = node_id
+        self.alive = True
+        self.sim = sim
+        self.metrics = metrics
+        self.birth_of = birth_of
+        self._receiver: Optional[TickStreamReceiver] = None
+        #: Every delivery, including stutter: (seq, vt, payload, real_time).
+        self.raw_outputs: List[Tuple[int, int, Any, int]] = []
+        #: First delivery of each sequence number only.
+        self.effective_outputs: List[Tuple[int, int, Any, int]] = []
+        self.stutter = 0
+
+    def receive(self, item: Any) -> None:
+        """Record a delivered output message."""
+        if not isinstance(item, DataMessage):
+            return  # consumers ignore control traffic (e.g. silence)
+        if self._receiver is None:
+            self._receiver = TickStreamReceiver(item.wire_id)
+        record = (item.seq, item.vt, item.payload, self.sim.now)
+        self.raw_outputs.append(record)
+        verdict = self._receiver.accept(item.seq, item.vt)
+        if verdict == "duplicate":
+            # Output stutter: a rolled-back engine re-delivered this.
+            self.stutter += 1
+            self.metrics.count("output_stutter")
+            return
+        if verdict == "gap":
+            # Engine-failure recovery always re-sends from a checkpoint at
+            # or before anything delivered, and link loss is repaired by
+            # the reliable channel — a gap here is a protocol bug.
+            raise TransportError(
+                f"consumer {self.node_id}: output gap at seq {item.seq}"
+            )
+        self.effective_outputs.append(record)
+        if self.birth_of is not None:
+            birth = self.birth_of(item.payload)
+            if birth is not None:
+                self.metrics.record_latency(birth, self.sim.now)
+
+    def payloads(self) -> List[Any]:
+        """Effective output payloads in delivery order."""
+        return [p for _, _, p, _ in self.effective_outputs]
+
+    def __len__(self) -> int:
+        return len(self.effective_outputs)

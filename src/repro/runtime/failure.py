@@ -1,0 +1,81 @@
+"""Fault injection.
+
+Drives the paper's failure model against a deployment: fail-stop engine
+crashes ("causing one or more machines to stop, losing all state and all
+messages in transit") and link failures ("causing loss, re-ordering, or
+duplication of messages sent over physical links").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import RecoveryError
+from repro.sim.kernel import ms
+
+
+class FailureInjector:
+    """Schedules engine crashes and link faults on a deployment."""
+
+    def __init__(self, deployment):
+        self.deployment = deployment
+
+    # -- engine fail-stop ---------------------------------------------------
+    def kill_engine(self, engine_id: str, at: Optional[int] = None,
+                    detection_delay: int = ms(1)) -> None:
+        """Fail-stop one engine at simulated time ``at`` (default: now).
+
+        The engine halts (all volatile state gone), channels touching it
+        reset (in-flight traffic lost), and after ``detection_delay`` the
+        recovery manager promotes its replica.
+        """
+        sim = self.deployment.sim
+        when = sim.now if at is None else at
+
+        def _crash() -> None:
+            engine = self.deployment.engines.get(engine_id)
+            if engine is None or not engine.alive:
+                raise RecoveryError(f"{engine_id}: not alive at crash time")
+            engine.halt()
+            self.deployment.network.fail_node(engine_id)
+            if engine_id in self.deployment.detectors:
+                # Organic detection: the heartbeat detector will notice
+                # the silence and trigger recovery by itself.
+                return
+            self.deployment.recovery.engine_failed(
+                engine_id, detection_delay=detection_delay
+            )
+
+        if when <= sim.now:
+            sim.call_soon(_crash, f"kill:{engine_id}")
+        else:
+            sim.at(when, _crash, f"kill:{engine_id}")
+
+    # -- link faults ----------------------------------------------------------
+    def link_outage(self, src_id: str, dst_id: str, start: int,
+                    duration: int) -> None:
+        """Drop every frame on src->dst during [start, start+duration).
+
+        The reliability protocol retransmits after the outage, so the
+        application sees delay, not loss — unless an engine also dies,
+        in which case TART's replay takes over.
+        """
+        sim = self.deployment.sim
+        fault = self.deployment.network.link_fault(src_id, dst_id)
+
+        def _down() -> None:
+            fault.down = True
+
+        def _up() -> None:
+            fault.down = False
+
+        sim.at(start, _down, f"link-down:{src_id}->{dst_id}")
+        sim.at(start + duration, _up, f"link-up:{src_id}->{dst_id}")
+
+    def set_link_impairment(self, src_id: str, dst_id: str,
+                            loss_prob: float = 0.0,
+                            dup_prob: float = 0.0) -> None:
+        """Set steady-state loss/duplication probabilities on a link."""
+        fault = self.deployment.network.link_fault(src_id, dst_id)
+        fault.loss_prob = float(loss_prob)
+        fault.dup_prob = float(dup_prob)

@@ -1,0 +1,115 @@
+"""Experiment metrics.
+
+A :class:`MetricSet` is a passive sink shared by every runtime object in
+a deployment: counters (probe counts, out-of-order arrivals, pessimism
+events), accumulators (total pessimism delay ticks), and latency samples
+(end-to-end, per external message).  Experiments read summaries from it
+after a run; nothing here feeds back into scheduling, so metrics cannot
+perturb determinism.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.vt.time import TICKS_PER_US
+
+
+class MetricSet:
+    """Counters, accumulators, and latency samples for one run."""
+
+    def __init__(self):
+        self.counters: Dict[str, int] = {}
+        self.accumulators: Dict[str, int] = {}
+        self._latencies: List[int] = []
+
+    # -- write side ------------------------------------------------------
+    def count(self, name: str, n: int = 1) -> None:
+        """Increment a counter."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def add(self, name: str, amount: int) -> None:
+        """Add to an accumulator."""
+        self.accumulators[name] = self.accumulators.get(name, 0) + amount
+
+    def record_latency(self, birth_time: int, now: int) -> None:
+        """Record one end-to-end latency sample in ticks."""
+        self._latencies.append(now - birth_time)
+
+    # -- read side -------------------------------------------------------
+    def counter(self, name: str) -> int:
+        """Counter value (0 if never incremented)."""
+        return self.counters.get(name, 0)
+
+    def accumulator(self, name: str) -> int:
+        """Accumulator value (0 if never added to)."""
+        return self.accumulators.get(name, 0)
+
+    @property
+    def latencies(self) -> List[int]:
+        """All latency samples in ticks, in completion order."""
+        return list(self._latencies)
+
+    def latency_count(self) -> int:
+        """Number of completed end-to-end messages."""
+        return len(self._latencies)
+
+    def mean_latency_us(self) -> float:
+        """Mean end-to-end latency in microseconds."""
+        if not self._latencies:
+            return float("nan")
+        return sum(self._latencies) / len(self._latencies) / TICKS_PER_US
+
+    def latency_percentile_us(self, q: float) -> float:
+        """The q-percentile (0..100) latency in microseconds."""
+        if not self._latencies:
+            return float("nan")
+        ordered = sorted(self._latencies)
+        idx = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
+        return ordered[idx] / TICKS_PER_US
+
+    def latency_std_us(self) -> float:
+        """Standard deviation of latency in microseconds."""
+        n = len(self._latencies)
+        if n < 2:
+            return 0.0
+        mean = sum(self._latencies) / n
+        var = sum((x - mean) ** 2 for x in self._latencies) / (n - 1)
+        return math.sqrt(var) / TICKS_PER_US
+
+    def probes_per_message(self) -> float:
+        """Curiosity probes divided by end-to-end messages completed."""
+        if not self._latencies:
+            return 0.0
+        return self.counter("curiosity_probes") / len(self._latencies)
+
+    def out_of_order_fraction(self) -> float:
+        """Fraction of processed messages that arrived out of vt order."""
+        processed = self.counter("messages_processed")
+        if processed == 0:
+            return 0.0
+        return self.counter("out_of_order_arrivals") / processed
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dict of the headline numbers (for experiment tables)."""
+        return {
+            "messages": float(self.latency_count()),
+            "mean_latency_us": self.mean_latency_us(),
+            "p50_latency_us": self.latency_percentile_us(50),
+            "p95_latency_us": self.latency_percentile_us(95),
+            "latency_std_us": self.latency_std_us(),
+            "curiosity_probes": float(self.counter("curiosity_probes")),
+            "probes_per_message": self.probes_per_message(),
+            "out_of_order_arrivals": float(self.counter("out_of_order_arrivals")),
+            "pessimism_events": float(self.counter("pessimism_events")),
+            "pessimism_delay_us": self.accumulator("pessimism_delay_ticks")
+            / TICKS_PER_US,
+            "duplicates_discarded": float(self.counter("duplicates_discarded")),
+            "messages_replayed": float(self.counter("messages_replayed")),
+            "determinism_faults": float(self.counter("determinism_faults")),
+        }
+
+    def __repr__(self) -> str:
+        return (f"MetricSet(messages={self.latency_count()}, "
+                f"mean={self.mean_latency_us():.1f}us)")

@@ -1,0 +1,73 @@
+"""Component placement.
+
+"A placement service assigns individual components to execution engines
+within the distributed system" (paper II.C).  A :class:`Placement` is a
+validated component→engine map; helpers build common layouts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.errors import WiringError
+
+
+class Placement:
+    """A validated assignment of components to engines."""
+
+    def __init__(self, assignment: Dict[str, str]):
+        if not assignment:
+            raise WiringError("placement is empty")
+        self._assignment = dict(assignment)
+
+    def engine_of(self, component: str) -> str:
+        """Engine hosting ``component``."""
+        try:
+            return self._assignment[component]
+        except KeyError:
+            raise WiringError(f"component {component!r} is not placed") from None
+
+    def engines(self) -> List[str]:
+        """All engine ids, sorted."""
+        return sorted(set(self._assignment.values()))
+
+    def components_on(self, engine_id: str) -> List[str]:
+        """Components hosted by one engine, sorted."""
+        return sorted(
+            c for c, e in self._assignment.items() if e == engine_id
+        )
+
+    def validate_components(self, component_names: Iterable[str]) -> None:
+        """Check the placement covers exactly the given components."""
+        names = set(component_names)
+        placed = set(self._assignment)
+        missing = names - placed
+        extra = placed - names
+        if missing:
+            raise WiringError(f"unplaced components: {sorted(missing)}")
+        if extra:
+            raise WiringError(f"placement of unknown components: {sorted(extra)}")
+
+    def items(self):
+        """(component, engine) pairs."""
+        return self._assignment.items()
+
+    def __repr__(self) -> str:
+        return f"Placement({self._assignment})"
+
+
+def single_engine_placement(component_names: Iterable[str],
+                            engine_id: str = "engine0") -> Placement:
+    """Everything on one engine (the paper's simulation studies)."""
+    return Placement({name: engine_id for name in component_names})
+
+
+def round_robin_placement(component_names: Iterable[str],
+                          engine_ids: List[str]) -> Placement:
+    """Spread components across engines round-robin."""
+    if not engine_ids:
+        raise WiringError("no engines to place onto")
+    names = list(component_names)
+    return Placement({
+        name: engine_ids[i % len(engine_ids)] for i, name in enumerate(names)
+    })

@@ -1,0 +1,105 @@
+"""Passive replicas.
+
+"Each engine is associated with a backup ... a passive replica residing
+on a separate execution engine, which holds checkpoints, ready to
+immediately become active should the active engine fail."  A passive
+replica "only holds the state; it need not do any processing" (paper
+II.F.2) — so this class is deliberately dumb: it stores checkpoint blobs,
+acknowledges them, and can *materialize* the merged state (base full
+checkpoint plus incremental deltas) when the recovery manager promotes
+it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.message import CheckpointAck, CheckpointData
+from repro.errors import RecoveryError
+from repro.runtime import checkpoint as cpser
+from repro.runtime.state_merge import merge_component_snapshots
+
+
+class PassiveReplica:
+    """Checkpoint store + failover source for one engine."""
+
+    def __init__(self, node_id: str, sim, network, engine_id: str):
+        self.node_id = node_id
+        self.alive = True
+        self.sim = sim
+        self.network = network
+        self.engine_id = engine_id
+        #: (cp_seq, incremental, decoded blob) in arrival order.
+        self._chain: List[tuple] = []
+        self.bytes_received = 0
+        #: Optional heartbeat detector fed by this replica's receive().
+        self.detector = None
+
+    def receive(self, item: Any) -> None:
+        """Store a soft checkpoint / heartbeat and acknowledge data."""
+        from repro.runtime.detector import Heartbeat
+
+        if isinstance(item, Heartbeat):
+            if self.detector is not None:
+                self.detector.on_heartbeat(item)
+            return
+        if not isinstance(item, CheckpointData):
+            return
+        if item.engine_id != self.engine_id:
+            raise RecoveryError(
+                f"replica {self.node_id}: checkpoint for {item.engine_id}"
+            )
+        decoded = cpser.loads(item.blob)
+        if not item.incremental:
+            # A full checkpoint obsoletes the existing chain.
+            self._chain = [(item.cp_seq, False, decoded)]
+        else:
+            if not self._chain:
+                raise RecoveryError(
+                    f"replica {self.node_id}: delta checkpoint {item.cp_seq} "
+                    f"without a base"
+                )
+            self._chain.append((item.cp_seq, True, decoded))
+        self.bytes_received += len(item.blob)
+        self.network.send(
+            self.node_id, self.engine_id,
+            CheckpointAck(self.engine_id, item.cp_seq),
+        )
+
+    # -- failover ----------------------------------------------------------
+    @property
+    def has_checkpoint(self) -> bool:
+        """Whether at least one full checkpoint has arrived."""
+        return bool(self._chain)
+
+    @property
+    def last_cp_seq(self) -> int:
+        """Sequence number of the newest stored checkpoint (-1 if none)."""
+        return self._chain[-1][0] if self._chain else -1
+
+    def materialize(self) -> Dict[str, dict]:
+        """Merge the chain into per-component full snapshots.
+
+        The result maps component name to a snapshot dict directly
+        restorable by
+        :meth:`repro.core.scheduler.ComponentRuntime.restore`.
+        """
+        if not self._chain:
+            raise RecoveryError(
+                f"replica {self.node_id}: no checkpoint to materialize"
+            )
+        _, incremental, base = self._chain[0]
+        if incremental:  # pragma: no cover - guarded at receive()
+            raise RecoveryError("chain does not start with a full checkpoint")
+        merged: Dict[str, dict] = {
+            name: snap for name, snap in base["components"].items()
+        }
+        for _, _, delta in self._chain[1:]:
+            for name, snap in delta["components"].items():
+                if name not in merged:
+                    raise RecoveryError(
+                        f"replica {self.node_id}: delta for unknown "
+                        f"component {name!r}"
+                    )
+                merged[name] = merge_component_snapshots(merged[name], snap)
+        return merged

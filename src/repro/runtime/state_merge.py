@@ -1,0 +1,74 @@
+"""Merging incremental checkpoints into full snapshots.
+
+A component runtime snapshot contains the state cells plus runtime
+metadata (virtual time, tick-stream positions, pending queues).  Delta
+checkpoints carry *delta* cell snapshots but full metadata (metadata is
+small); merging therefore:
+
+* merges each cell's delta into the base cell snapshot —
+  :class:`~repro.core.state.ValueCell` deltas are ``(changed, value)``
+  tuples, :class:`~repro.core.state.MapCell` deltas are flat dicts with
+  the deletion sentinel;
+* replaces every metadata field with the newer checkpoint's copy.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+from repro.core.state import _DELETED
+from repro.errors import RecoveryError
+
+#: Snapshot fields taken wholesale from the newer checkpoint.
+_METADATA_FIELDS = (
+    "component_vt",
+    "max_arrived_vt",
+    "next_call_id",
+    "receivers",
+    "reply_receivers",
+    "senders",
+    "silence",
+    "pending",
+)
+
+
+def merge_cell(base: Any, delta: Any) -> Any:
+    """Merge one cell's delta snapshot into its base full snapshot."""
+    if isinstance(delta, tuple):
+        # ValueCell: (changed, value)
+        if len(delta) != 2:
+            raise RecoveryError(f"malformed value-cell delta: {delta!r}")
+        changed, value = delta
+        return value if changed else base
+    if isinstance(delta, dict):
+        # MapCell: dirty entries + deletion tombstones.
+        if not isinstance(base, dict):
+            raise RecoveryError(
+                f"map-cell delta applied to non-map base {type(base).__name__}"
+            )
+        merged = dict(base)
+        for key, value in delta.items():
+            if isinstance(value, str) and value == _DELETED:
+                merged.pop(key, None)
+            else:
+                merged[key] = value
+        return merged
+    raise RecoveryError(f"unknown cell delta shape: {type(delta).__name__}")
+
+
+def merge_component_snapshots(base: Dict, delta: Dict) -> Dict:
+    """Merge a delta component snapshot onto a full one."""
+    if not delta.get("cells_incremental", False):
+        # The "delta" is actually a newer full snapshot; it wins outright.
+        return dict(delta)
+    merged = dict(base)
+    merged_cells = dict(base["cells"])
+    for name, cell_delta in delta["cells"].items():
+        if name not in merged_cells:
+            raise RecoveryError(f"delta for unknown cell {name!r}")
+        merged_cells[name] = merge_cell(merged_cells[name], cell_delta)
+    merged["cells"] = merged_cells
+    merged["cells_incremental"] = False
+    for field in _METADATA_FIELDS:
+        merged[field] = delta[field]
+    return merged

@@ -1,0 +1,197 @@
+"""Execution tracing and hold diagnosis.
+
+Operating a virtual-time system raises questions ordinary middleware
+doesn't: *why is this message being held?*  and *what did this component
+actually process, in what order?*  This module answers both without
+perturbing the runtime:
+
+* :class:`ExecutionTracer` — a bounded ring buffer of processing events
+  (dispatch, completion, pessimism enter/exit), attachable to any
+  deployment; tests and operators read or dump it.
+* :func:`explain_hold` — a point-in-time diagnosis of one component:
+  which message is the scheduling candidate, which wires block it, how
+  far each horizon is from the needed virtual time, and what would
+  unblock it.
+
+Tracing hooks ride the metrics interface (pure observation), so traced
+and untraced runs execute identically — asserted by test.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.vt.time import format_vt
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observed runtime event."""
+
+    real_time: int
+    component: str
+    kind: str  # "dispatch" | "complete" | "hold" | "release"
+    wire_id: Optional[int] = None
+    seq: Optional[int] = None
+    vt: Optional[int] = None
+    detail: str = ""
+
+
+class ExecutionTracer:
+    """Bounded ring buffer of :class:`TraceEvent`.
+
+    Attach with :meth:`attach`; it wraps each runtime's dispatch and
+    completion paths with recording decorators.
+    """
+
+    def __init__(self, capacity: int = 10_000):
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._attached: List[Any] = []
+
+    def attach(self, deployment) -> None:
+        """Trace every component runtime in a deployment."""
+        for engine in deployment.engines.values():
+            for runtime in engine.runtimes.values():
+                self.attach_runtime(runtime, deployment.sim)
+
+    def attach_runtime(self, runtime, sim) -> None:
+        """Trace one runtime by wrapping its dispatch/complete methods."""
+        tracer = self
+        original_dispatch = runtime._dispatch
+        original_complete = runtime._complete
+        original_enter = runtime._enter_pessimism_delay
+        name = runtime.component.name
+
+        def traced_dispatch(msg, wire):
+            tracer.record(TraceEvent(sim.now, name, "dispatch",
+                                     msg.wire_id, msg.seq, msg.vt))
+            return original_dispatch(msg, wire)
+
+        def traced_complete(busy, end_vt, return_value):
+            tracer.record(TraceEvent(
+                sim.now, name, "complete", busy.message.wire_id,
+                busy.message.seq, end_vt,
+                detail=f"actual={busy.actual_ticks}"))
+            return original_complete(busy, end_vt, return_value)
+
+        def traced_enter(msg):
+            tracer.record(TraceEvent(sim.now, name, "hold",
+                                     msg.wire_id, msg.seq, msg.vt))
+            return original_enter(msg)
+
+        runtime._dispatch = traced_dispatch
+        runtime._complete = traced_complete
+        runtime._enter_pessimism_delay = traced_enter
+        self._attached.append(runtime)
+
+    def record(self, event: TraceEvent) -> None:
+        """Append one event (oldest events fall off at capacity)."""
+        self._events.append(event)
+
+    def events(self, component: Optional[str] = None,
+               kind: Optional[str] = None) -> List[TraceEvent]:
+        """Events in order, optionally filtered."""
+        return [
+            e for e in self._events
+            if (component is None or e.component == component)
+            and (kind is None or e.kind == kind)
+        ]
+
+    def dump(self, limit: int = 50) -> str:
+        """Human-readable tail of the trace."""
+        lines = []
+        for e in list(self._events)[-limit:]:
+            vt = format_vt(e.vt) if e.vt is not None else "-"
+            lines.append(
+                f"t={e.real_time / 1000:.1f}us {e.component:>12} "
+                f"{e.kind:<8} wire={e.wire_id} seq={e.seq} vt={vt} "
+                f"{e.detail}"
+            )
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+def explain_hold(runtime) -> Dict[str, Any]:
+    """Diagnose why a component is (or is not) holding a message.
+
+    Returns a structured report; ``render_hold_report`` turns it into
+    text.  Safe to call at any event boundary; purely observational.
+    """
+    report: Dict[str, Any] = {
+        "component": runtime.component.name,
+        "busy": runtime.busy_info is not None,
+        "holding": False,
+        "candidate": None,
+        "blocking_wires": [],
+    }
+    if runtime.busy_info is not None:
+        busy = runtime.busy_info
+        report["busy_message"] = {
+            "wire": busy.message.wire_id, "seq": busy.message.seq,
+            "dequeue_vt": busy.dequeue_vt,
+            "awaiting_reply": busy.awaiting_reply,
+        }
+        return report
+    best = runtime._best_candidate()
+    if best is None:
+        report["reason"] = "no pending messages"
+        return report
+    msg, _wire = best
+    report["candidate"] = {"wire": msg.wire_id, "seq": msg.seq, "vt": msg.vt}
+    blocking = runtime.silence.blocking_wires(msg.vt, excluding=msg.wire_id)
+    if not blocking:
+        report["reason"] = "dispatchable (will run at the next event)"
+        return report
+    report["holding"] = True
+    for wire_id in blocking:
+        horizon = runtime.silence.horizon(wire_id)
+        wire = runtime.in_wires.get(wire_id)
+        report["blocking_wires"].append({
+            "wire": wire_id,
+            "horizon": horizon,
+            "needed": msg.vt,
+            "shortfall": msg.vt - horizon,
+            "external": bool(wire and wire.external),
+            "probe_outstanding": runtime._probe_outstanding.get(wire_id,
+                                                                False),
+        })
+    report["reason"] = (
+        f"pessimism delay: waiting for silence through "
+        f"{format_vt(msg.vt)} on wires "
+        f"{[b['wire'] for b in report['blocking_wires']]}"
+    )
+    return report
+
+
+def render_hold_report(report: Dict[str, Any]) -> str:
+    """Format an :func:`explain_hold` report for humans."""
+    lines = [f"component {report['component']}:"]
+    if report["busy"]:
+        busy = report.get("busy_message", {})
+        state = ("suspended on a service call"
+                 if busy.get("awaiting_reply") else "executing")
+        lines.append(
+            f"  {state} message wire={busy.get('wire')} "
+            f"seq={busy.get('seq')} dequeued at "
+            f"{format_vt(busy.get('dequeue_vt', 0))}")
+        return "\n".join(lines)
+    if not report["holding"]:
+        lines.append(f"  {report.get('reason', 'idle')}")
+        return "\n".join(lines)
+    candidate = report["candidate"]
+    lines.append(
+        f"  HOLDING wire={candidate['wire']} seq={candidate['seq']} at "
+        f"{format_vt(candidate['vt'])}")
+    for b in report["blocking_wires"]:
+        kind = "external" if b["external"] else "internal"
+        probe = " (probe in flight)" if b["probe_outstanding"] else ""
+        lines.append(
+            f"    blocked by {kind} wire {b['wire']}: horizon "
+            f"{format_vt(b['horizon'])}, short by "
+            f"{format_vt(b['shortfall'])}{probe}")
+    return "\n".join(lines)

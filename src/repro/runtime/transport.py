@@ -1,0 +1,145 @@
+"""Inter-node transport.
+
+The :class:`Network` connects *nodes*: execution engines, external
+ingresses, external consumers, and passive replicas.  Every node exposes
+``node_id`` (str), ``alive`` (bool), and ``receive(item)``.
+
+Delivery semantics:
+
+* between two distinct nodes — through a lazily created
+  :class:`~repro.runtime.link.ReliableChannel` with the link parameters
+  configured for that pair (delay distribution, loss/duplication faults);
+* within one node (component to component on the same engine) — direct,
+  after ``local_delay`` ticks (default 0);
+* to a dead node — dropped: messages in transit to a failed engine are
+  lost, exactly the paper's fail-stop model; TART's replay recovers
+  them.
+
+Control messages (probes, silence advances) may be given their own
+fixed one-way delay via ``control_delay`` so experiments can charge the
+paper's 20 µs curiosity-probe cost even between co-located components.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.message import CuriosityProbe, SilenceAdvance
+from repro.errors import TransportError
+from repro.runtime.link import LinkFault, ReliableChannel
+from repro.sim.distributions import Constant, Distribution
+from repro.sim.kernel import Simulator
+
+
+class LinkParams:
+    """Per-node-pair link configuration."""
+
+    def __init__(self, delay: Optional[Distribution] = None,
+                 loss_prob: float = 0.0, dup_prob: float = 0.0,
+                 reorder_extra: Optional[Distribution] = None,
+                 rto: Optional[int] = None,
+                 serialize_ticks: int = 0):
+        self.delay = delay if delay is not None else Constant(0)
+        self.fault = LinkFault(loss_prob, dup_prob, reorder_extra)
+        self.rto = rto
+        self.serialize_ticks = int(serialize_ticks)
+
+
+class Network:
+    """Routes items between registered nodes."""
+
+    def __init__(self, sim: Simulator, rng_registry,
+                 default_link: Optional[LinkParams] = None,
+                 local_delay: int = 0,
+                 control_delay: int = 0):
+        self.sim = sim
+        self.rng_registry = rng_registry
+        self.default_link = default_link or LinkParams()
+        self.local_delay = int(local_delay)
+        self.control_delay = int(control_delay)
+        self._nodes: Dict[str, Any] = {}
+        self._links: Dict[Tuple[str, str], LinkParams] = {}
+        self._channels: Dict[Tuple[str, str], ReliableChannel] = {}
+
+    # -- topology ----------------------------------------------------------
+    def register(self, node) -> None:
+        """Add or replace a node (failover replaces the dead engine)."""
+        self._nodes[node.node_id] = node
+
+    def node(self, node_id: str):
+        """Look up a node by id."""
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise TransportError(f"unknown node {node_id!r}") from None
+
+    def set_link(self, src_id: str, dst_id: str, params: LinkParams) -> None:
+        """Configure the link used for src -> dst traffic."""
+        self._links[(src_id, dst_id)] = params
+        # A live channel keeps its construction-time parameters; drop it
+        # so the next send rebuilds with the new ones.
+        self._channels.pop((src_id, dst_id), None)
+
+    def link_fault(self, src_id: str, dst_id: str) -> LinkFault:
+        """The fault knobs of the (possibly lazily created) channel."""
+        channel = self._channel(src_id, dst_id)
+        return channel.data_link.fault
+
+    # -- delivery ----------------------------------------------------------
+    def send(self, src_id: str, dst_id: str, item: Any) -> None:
+        """Send ``item`` from node to node."""
+        if src_id == dst_id:
+            delay = self._item_delay(item, local=True)
+            self.sim.after(delay, lambda: self._deliver(dst_id, item),
+                           f"local:{dst_id}")
+            return
+        extra = self._item_delay(item, local=False)
+        if extra:
+            self.sim.after(extra, lambda: self._channel_send(src_id, dst_id, item),
+                           f"ctl:{src_id}->{dst_id}")
+        else:
+            self._channel_send(src_id, dst_id, item)
+
+    def _item_delay(self, item: Any, local: bool) -> int:
+        if isinstance(item, (CuriosityProbe, SilenceAdvance)):
+            return self.control_delay
+        return self.local_delay if local else 0
+
+    def _channel_send(self, src_id: str, dst_id: str, item: Any) -> None:
+        self._channel(src_id, dst_id).send(item)
+
+    def _channel(self, src_id: str, dst_id: str) -> ReliableChannel:
+        key = (src_id, dst_id)
+        channel = self._channels.get(key)
+        if channel is None:
+            params = self._links.get(key, self.default_link)
+            rng = self.rng_registry.stream(f"link:{src_id}->{dst_id}")
+            channel = ReliableChannel(
+                self.sim, rng, f"{src_id}->{dst_id}",
+                deliver=lambda it, d=dst_id: self._deliver(d, it),
+                delay=params.delay, fault=params.fault, rto=params.rto,
+                serialize_ticks=params.serialize_ticks,
+            )
+            self._channels[key] = channel
+        return channel
+
+    def _deliver(self, dst_id: str, item: Any) -> None:
+        node = self._nodes.get(dst_id)
+        if node is None or not node.alive:
+            return  # fail-stop: traffic to a dead node is lost
+        node.receive(item)
+
+    # -- failure handling ---------------------------------------------------
+    def fail_node(self, node_id: str) -> None:
+        """Reset every channel touching a failed node (new epoch).
+
+        In-flight and unacked frames of the old epoch are discarded —
+        the volatile channel state died with the engine.
+        """
+        for (src, dst), channel in self._channels.items():
+            if src == node_id or dst == node_id:
+                channel.reset()
+
+    def channels(self) -> Dict[Tuple[str, str], ReliableChannel]:
+        """Live channels (diagnostic)."""
+        return dict(self._channels)

@@ -1,0 +1,50 @@
+"""Discrete-event simulation substrate.
+
+Everything in this reproduction — including the "real two-machine
+distributed implementation" of the paper's Figure 5 — executes on this
+kernel.  Simulated time plays the role of the paper's *real* time;
+TART's *virtual* time lives one layer above, in :mod:`repro.vt`.
+
+Public surface:
+
+* :class:`~repro.sim.kernel.Simulator` — the event loop.
+* :class:`~repro.sim.rng.RngRegistry` — named deterministic RNG streams.
+* :mod:`~repro.sim.distributions` — sampling distributions.
+* :mod:`~repro.sim.jitter` — execution-time jitter models.
+* :mod:`~repro.sim.trace` — synthetic measured-service-time traces.
+"""
+
+from repro.sim.kernel import Event, Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.distributions import (
+    Constant,
+    Distribution,
+    Empirical,
+    Exponential,
+    LogNormal,
+    Normal,
+    Uniform,
+    UniformInt,
+)
+from repro.sim.jitter import JitterModel, NoJitter, NormalTickJitter, TraceJitter
+from repro.sim.trace import ServiceTimeTrace, synthesize_service_trace
+
+__all__ = [
+    "Constant",
+    "Distribution",
+    "Empirical",
+    "Event",
+    "Exponential",
+    "JitterModel",
+    "LogNormal",
+    "NoJitter",
+    "Normal",
+    "NormalTickJitter",
+    "RngRegistry",
+    "ServiceTimeTrace",
+    "Simulator",
+    "TraceJitter",
+    "Uniform",
+    "UniformInt",
+    "synthesize_service_trace",
+]

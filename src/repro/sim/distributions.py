@@ -1,0 +1,248 @@
+"""Sampling distributions used by workload generators and jitter models.
+
+All distributions sample from an explicitly supplied :class:`random.Random`
+stream (see :mod:`repro.sim.rng`), never from the global RNG, so every
+experiment is reproducible and modes can share identical workloads.
+
+Distributions that model durations return **integer ticks** and are
+truncated at zero where the mathematical support includes negatives.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from abc import ABC, abstractmethod
+from typing import List, Sequence
+
+
+class Distribution(ABC):
+    """A distribution over integer tick durations."""
+
+    @abstractmethod
+    def sample(self, rng: random.Random) -> int:
+        """Draw one sample using ``rng``."""
+
+    @abstractmethod
+    def mean(self) -> float:
+        """Theoretical mean (used for utilisation accounting in tests)."""
+
+
+class Constant(Distribution):
+    """Degenerate distribution: always ``value`` ticks."""
+
+    def __init__(self, value: int):
+        if value < 0:
+            raise ValueError("constant duration must be non-negative")
+        self.value = int(value)
+
+    def sample(self, rng: random.Random) -> int:
+        return self.value
+
+    def mean(self) -> float:
+        return float(self.value)
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value})"
+
+
+class Uniform(Distribution):
+    """Continuous uniform over ``[low, high]`` ticks."""
+
+    def __init__(self, low: int, high: int):
+        if not 0 <= low <= high:
+            raise ValueError("require 0 <= low <= high")
+        self.low = int(low)
+        self.high = int(high)
+
+    def sample(self, rng: random.Random) -> int:
+        return int(round(rng.uniform(self.low, self.high)))
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def __repr__(self) -> str:
+        return f"Uniform({self.low}, {self.high})"
+
+
+class UniformInt(Distribution):
+    """Discrete uniform over the integers ``low..high`` inclusive.
+
+    This is the paper's "uniform random distribution of from 1 to 19
+    iterations" — used for iteration counts rather than raw durations.
+    """
+
+    def __init__(self, low: int, high: int):
+        if low > high:
+            raise ValueError("require low <= high")
+        self.low = int(low)
+        self.high = int(high)
+
+    def sample(self, rng: random.Random) -> int:
+        return rng.randint(self.low, self.high)
+
+    def mean(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def variance(self) -> float:
+        n = self.high - self.low + 1
+        return (n * n - 1) / 12.0
+
+    def __repr__(self) -> str:
+        return f"UniformInt({self.low}, {self.high})"
+
+
+class Exponential(Distribution):
+    """Exponential with the given ``mean`` in ticks (Poisson inter-arrivals)."""
+
+    def __init__(self, mean: float):
+        if mean <= 0:
+            raise ValueError("mean must be positive")
+        self._mean = float(mean)
+
+    def sample(self, rng: random.Random) -> int:
+        return max(0, int(round(rng.expovariate(1.0 / self._mean))))
+
+    def mean(self) -> float:
+        return self._mean
+
+    def __repr__(self) -> str:
+        return f"Exponential(mean={self._mean})"
+
+
+class Normal(Distribution):
+    """Normal(mu, sigma) truncated at zero.
+
+    Used for the paper's Figure 3 jitter model: "a normal distribution
+    with mean of one tick and a standard deviation of 0.1 ticks" applied
+    per virtual tick of progress.
+    """
+
+    def __init__(self, mu: float, sigma: float):
+        if sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        self.mu = float(mu)
+        self.sigma = float(sigma)
+
+    def sample(self, rng: random.Random) -> int:
+        return max(0, int(round(rng.gauss(self.mu, self.sigma))))
+
+    def mean(self) -> float:
+        # Truncation bias is negligible for the parameters we use
+        # (mu >> sigma); report the untruncated mean.
+        return self.mu
+
+    def __repr__(self) -> str:
+        return f"Normal({self.mu}, {self.sigma})"
+
+
+class LogNormal(Distribution):
+    """Log-normal parameterised by the *target* mean and sigma of the log.
+
+    ``mean`` is the desired arithmetic mean of the samples; ``sigma`` the
+    standard deviation of the underlying normal.  Right-skewed — the shape
+    the paper observed for real execution-time residuals.
+    """
+
+    def __init__(self, mean: float, sigma: float):
+        if mean <= 0 or sigma < 0:
+            raise ValueError("mean must be positive and sigma non-negative")
+        self.target_mean = float(mean)
+        self.sigma = float(sigma)
+        # Solve E[X] = exp(mu + sigma^2/2) = mean for mu.
+        self.mu = math.log(mean) - sigma * sigma / 2.0
+
+    def sample(self, rng: random.Random) -> int:
+        return max(0, int(round(rng.lognormvariate(self.mu, self.sigma))))
+
+    def mean(self) -> float:
+        return self.target_mean
+
+    def __repr__(self) -> str:
+        return f"LogNormal(mean={self.target_mean}, sigma={self.sigma})"
+
+
+class Empirical(Distribution):
+    """Samples uniformly from a list of observed values.
+
+    Backs the paper's Figure 4 methodology: "We imported 10000 of these
+    execution time measurements into our simulation".
+    """
+
+    def __init__(self, samples: Sequence[int]):
+        if not samples:
+            raise ValueError("empirical distribution needs at least one sample")
+        self._samples: List[int] = [int(s) for s in samples]
+        self._mean = sum(self._samples) / len(self._samples)
+
+    def sample(self, rng: random.Random) -> int:
+        return self._samples[rng.randrange(len(self._samples))]
+
+    def mean(self) -> float:
+        return self._mean
+
+    def quantile(self, q: float) -> int:
+        """The ``q``-quantile of the sample set (0 <= q <= 1)."""
+        ordered = sorted(self._samples)
+        idx = min(len(ordered) - 1, max(0, int(q * (len(ordered) - 1))))
+        return ordered[idx]
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __repr__(self) -> str:
+        return f"Empirical(n={len(self._samples)}, mean={self._mean:.1f})"
+
+
+class Shifted(Distribution):
+    """A distribution shifted right by a constant offset (ticks)."""
+
+    def __init__(self, base: Distribution, offset: int):
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        self.base = base
+        self.offset = int(offset)
+
+    def sample(self, rng: random.Random) -> int:
+        return self.base.sample(rng) + self.offset
+
+    def mean(self) -> float:
+        return self.base.mean() + self.offset
+
+    def __repr__(self) -> str:
+        return f"Shifted({self.base!r}, +{self.offset})"
+
+
+class Mixture(Distribution):
+    """Finite mixture of distributions with given weights.
+
+    Used by the synthetic service-time trace to add the heavy right tail
+    (occasional GC pause / OS interrupt) on top of the lognormal body.
+    """
+
+    def __init__(self, parts: Sequence[Distribution], weights: Sequence[float]):
+        if len(parts) != len(weights) or not parts:
+            raise ValueError("parts and weights must be equal-length and non-empty")
+        if any(w < 0 for w in weights) or sum(weights) <= 0:
+            raise ValueError("weights must be non-negative and sum > 0")
+        total = float(sum(weights))
+        self.parts = list(parts)
+        self._cum: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cum.append(acc)
+        self._weights = [w / total for w in weights]
+
+    def sample(self, rng: random.Random) -> int:
+        u = rng.random()
+        idx = bisect.bisect_left(self._cum, u)
+        idx = min(idx, len(self.parts) - 1)
+        return self.parts[idx].sample(rng)
+
+    def mean(self) -> float:
+        return sum(w * p.mean() for w, p in zip(self._weights, self.parts))
+
+    def __repr__(self) -> str:
+        return f"Mixture({self.parts!r})"

@@ -1,0 +1,138 @@
+"""Execution-time jitter models.
+
+A component handler has a *nominal* cost (a deterministic function of its
+input, e.g. 60 µs per loop iteration) and an *actual* cost: what the
+hardware, OS and language runtime really take.  TART's determinism rests
+on virtual time being computed from the nominal cost, while real scheduling
+experiences the actual cost.  A :class:`JitterModel` maps nominal cost to
+actual cost.
+
+Two models mirror the paper's two simulation studies:
+
+* :class:`NormalTickJitter` — section III.A: "the program progress[es]
+  each virtual tick by an amount of real time governed by a normal
+  distribution with mean of one tick and a standard deviation of 0.1
+  ticks".  The paper calls this "an unrealistic approximation".
+* :class:`TraceJitter` — section III.B: actual costs drawn from a trace of
+  measured executions with the same iteration count ("a random
+  measurement from our imported set having the same iteration count").
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, Mapping, Optional
+
+from repro.errors import SimulationError
+
+
+class JitterModel(ABC):
+    """Maps a nominal duration (ticks) to an actual duration (ticks)."""
+
+    @abstractmethod
+    def actual_duration(
+        self,
+        rng: random.Random,
+        nominal: int,
+        features: Optional[Mapping[str, int]] = None,
+    ) -> int:
+        """Sample the real execution time for work of ``nominal`` cost.
+
+        ``features`` carries the cost-model feature vector (e.g. loop
+        iteration counts) for models that condition on it.
+        """
+
+
+class NoJitter(JitterModel):
+    """Actual time equals nominal time — an ideal machine."""
+
+    def actual_duration(self, rng, nominal, features=None) -> int:
+        return int(nominal)
+
+    def __repr__(self) -> str:
+        return "NoJitter()"
+
+
+class NormalTickJitter(JitterModel):
+    """Per-tick normal jitter (paper Figure 3 model).
+
+    Each virtual tick of progress takes N(``mean_per_tick``,
+    ``sd_per_tick``) real ticks.  Summing ``nominal`` independent draws
+    gives exactly N(nominal * mean, sd * sqrt(nominal)), which we sample
+    directly instead of drawing per tick.
+
+    ``correlated=True`` switches to a single multiplicative draw per work
+    item (actual = nominal * N(mean, sd)), modelling slow phases that
+    persist for a whole message (CPU frequency, cache state).  Both
+    readings of the paper's sentence are available; experiments state
+    which they use.
+    """
+
+    def __init__(self, mean_per_tick: float = 1.0, sd_per_tick: float = 0.1,
+                 correlated: bool = False):
+        if mean_per_tick <= 0 or sd_per_tick < 0:
+            raise SimulationError("invalid jitter parameters")
+        self.mean_per_tick = float(mean_per_tick)
+        self.sd_per_tick = float(sd_per_tick)
+        self.correlated = bool(correlated)
+
+    def actual_duration(self, rng, nominal, features=None) -> int:
+        nominal = int(nominal)
+        if nominal <= 0:
+            return 0
+        if self.correlated:
+            factor = rng.gauss(self.mean_per_tick, self.sd_per_tick)
+            return max(0, int(round(nominal * factor)))
+        mu = nominal * self.mean_per_tick
+        sigma = self.sd_per_tick * math.sqrt(nominal)
+        return max(0, int(round(rng.gauss(mu, sigma))))
+
+    def __repr__(self) -> str:
+        kind = "correlated" if self.correlated else "per-tick"
+        return (f"NormalTickJitter(mean={self.mean_per_tick}, "
+                f"sd={self.sd_per_tick}, {kind})")
+
+
+class TraceJitter(JitterModel):
+    """Actual times replayed from measured (feature -> duration) samples.
+
+    Built from a :class:`repro.sim.trace.ServiceTimeTrace`: for a work
+    item whose feature vector contains ``key`` (default ``"loop"``, the
+    iteration count), a measurement with the *same* count is drawn
+    uniformly — exactly the paper's Figure 4 methodology.
+    """
+
+    def __init__(self, buckets: Dict[int, list], key: str = "loop"):
+        if not buckets:
+            raise SimulationError("trace jitter needs at least one bucket")
+        self._buckets = {int(k): list(v) for k, v in buckets.items()}
+        for k, v in self._buckets.items():
+            if not v:
+                raise SimulationError(f"empty trace bucket for feature {k}")
+        self.key = key
+
+    def actual_duration(self, rng, nominal, features=None) -> int:
+        if not features or self.key not in features:
+            # Work without the keyed feature (e.g. the merger's fixed
+            # 400 µs service) is outside the measured trace; it runs at
+            # its nominal cost.
+            return int(nominal)
+        count = int(features[self.key])
+        bucket = self._buckets.get(count)
+        if bucket is None:
+            # Extrapolate: scale the nearest bucket linearly in the count.
+            nearest = min(self._buckets, key=lambda k: abs(k - count))
+            base = self._buckets[nearest][rng.randrange(len(self._buckets[nearest]))]
+            if nearest == 0:
+                return int(base)
+            return max(0, int(round(base * count / nearest)))
+        return int(bucket[rng.randrange(len(bucket))])
+
+    def bucket_counts(self) -> Dict[int, int]:
+        """Number of samples per feature value (diagnostic)."""
+        return {k: len(v) for k, v in sorted(self._buckets.items())}
+
+    def __repr__(self) -> str:
+        return f"TraceJitter(buckets={len(self._buckets)}, key={self.key!r})"

@@ -1,0 +1,1 @@
+"""Developer tools: report generation and result inspection."""

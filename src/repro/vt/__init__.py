@@ -1,0 +1,35 @@
+"""Virtual-time substrate.
+
+Virtual time (VT) is TART's deterministic logical clock: an integer tick
+count (1 tick = 1 ns) attached to every message, intended to approximate
+the real arrival time but required only to respect causality and
+determinism (paper section II.D).
+
+This package provides tick arithmetic and tie-breaking
+(:mod:`~repro.vt.time`), per-wire tick-stream accounting with gap
+detection (:mod:`~repro.vt.ticks`), and silence-horizon bookkeeping
+(:mod:`~repro.vt.silence`).
+"""
+
+from repro.vt.time import (
+    NEVER,
+    TICKS_PER_MS,
+    TICKS_PER_S,
+    TICKS_PER_US,
+    MessageKey,
+    format_vt,
+)
+from repro.vt.ticks import TickStreamReceiver, TickStreamSender
+from repro.vt.silence import SilenceMap
+
+__all__ = [
+    "MessageKey",
+    "NEVER",
+    "SilenceMap",
+    "TICKS_PER_MS",
+    "TICKS_PER_S",
+    "TICKS_PER_US",
+    "TickStreamReceiver",
+    "TickStreamSender",
+    "format_vt",
+]

@@ -1,0 +1,102 @@
+"""Silence-horizon bookkeeping across a component's input wires.
+
+A component with fan-in > 1 may only dequeue the earliest pending message
+(vt *t*) once **every other** input wire is known silent through *t*
+(pessimistic scheduling, paper II.D/II.E).  :class:`SilenceMap` holds the
+per-wire horizons and answers exactly that question, and reports which
+wires are blocking — the targets of curiosity probes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.errors import SchedulingError
+from repro.vt.time import NEVER
+
+
+class SilenceMap:
+    """Per-wire accounted horizons for one receiving component."""
+
+    def __init__(self, wire_ids: Iterable[int] = ()):
+        self._horizons: Dict[int, int] = {int(w): -1 for w in wire_ids}
+
+    def add_wire(self, wire_id: int) -> None:
+        """Register an input wire (horizon starts at -1: nothing known)."""
+        if wire_id in self._horizons:
+            raise SchedulingError(f"wire {wire_id} already registered")
+        self._horizons[wire_id] = -1
+
+    def close_wire(self, wire_id: int) -> None:
+        """Mark a wire permanently silent (its sender terminated)."""
+        self._require(wire_id)
+        self._horizons[wire_id] = NEVER
+
+    def advance(self, wire_id: int, through_vt: int) -> bool:
+        """Raise a wire's horizon; returns True if it moved.
+
+        Horizons are monotonic — regressions are ignored, because a
+        silence promise is a fact about ticks that are already determined.
+        """
+        self._require(wire_id)
+        if through_vt > self._horizons[wire_id]:
+            self._horizons[wire_id] = through_vt
+            return True
+        return False
+
+    def horizon(self, wire_id: int) -> int:
+        """Current accounted horizon of one wire."""
+        self._require(wire_id)
+        return self._horizons[wire_id]
+
+    def min_horizon(self) -> int:
+        """The least horizon across all wires (NEVER if no wires)."""
+        if not self._horizons:
+            return NEVER
+        return min(self._horizons.values())
+
+    def silent_through(self, vt: int, excluding: int = None) -> bool:
+        """Are all wires (optionally except one) accounted through ``vt``?
+
+        The scheduler asks this with ``excluding`` set to the wire the
+        candidate message arrived on: that wire is accounted *by* the
+        message itself.
+        """
+        for wire_id, horizon in self._horizons.items():
+            if wire_id == excluding:
+                continue
+            if horizon < vt:
+                return False
+        return True
+
+    def blocking_wires(self, vt: int, excluding: int = None) -> List[int]:
+        """Wires whose horizon is below ``vt`` — curiosity-probe targets."""
+        return sorted(
+            wire_id
+            for wire_id, horizon in self._horizons.items()
+            if wire_id != excluding and horizon < vt
+        )
+
+    def wires(self) -> List[int]:
+        """All registered wire ids, sorted."""
+        return sorted(self._horizons)
+
+    def _require(self, wire_id: int) -> None:
+        if wire_id not in self._horizons:
+            raise SchedulingError(f"unknown wire {wire_id}")
+
+    # -- checkpoint support -------------------------------------------
+    def snapshot(self) -> dict:
+        """Serializable horizon map."""
+        return {"horizons": dict(self._horizons)}
+
+    @classmethod
+    def restore(cls, snap: dict) -> "SilenceMap":
+        """Rebuild from :meth:`snapshot` output."""
+        obj = cls()
+        obj._horizons = {int(k): int(v) for k, v in snap["horizons"].items()}
+        return obj
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{w}->{h}" for w, h in sorted(self._horizons.items()))
+        return f"SilenceMap({parts})"

@@ -1,0 +1,60 @@
+"""Tests for the client/directory two-way-call application."""
+
+from repro.apps.callgraph import build_callgraph_app, request_factory
+from repro.apps.wordcount import birth_of
+from repro.runtime.app import Deployment
+from repro.runtime.placement import Placement, single_engine_placement
+from repro.sim.kernel import ms
+from repro.sim.rng import RngRegistry
+
+
+def run_requests(keys):
+    app = build_callgraph_app()
+    dep = Deployment(app, single_engine_placement(app.component_names()),
+                     birth_of=birth_of)
+    dep.start()
+    for key in keys:
+        dep.ingress("requests").offer({"key": key, "birth": dep.sim.now})
+        dep.run(until=dep.sim.now + ms(1))
+    dep.run(until=dep.sim.now + ms(20))
+    return dep
+
+
+class TestCallgraph:
+    def test_lookup_resolves_and_counts_hits(self):
+        dep = run_requests(["a", "b", "a"])
+        payloads = dep.consumer("sink").payloads()
+        assert [(p["key"], p["resolved"], p["hits"]) for p in payloads] == [
+            ("a", "val:a", 1), ("b", "val:b", 1), ("a", "val:a", 2),
+        ]
+
+    def test_served_counter_monotone(self):
+        dep = run_requests(["x"] * 5)
+        assert [p["served"] for p in dep.consumer("sink").payloads()] == [
+            1, 2, 3, 4, 5,
+        ]
+
+    def test_directory_state(self):
+        dep = run_requests(["a", "a", "b"])
+        table = dep.runtime("directory").component.table
+        assert table["a"]["hits"] == 2
+        assert table["b"]["hits"] == 1
+
+    def test_works_across_engines(self):
+        app = build_callgraph_app()
+        dep = Deployment(app,
+                         Placement({"frontend": "E1", "directory": "E2"}),
+                         birth_of=birth_of)
+        dep.start()
+        dep.ingress("requests").offer({"key": "k", "birth": 0})
+        dep.run(until=ms(10))
+        (payload,) = dep.consumer("sink").payloads()
+        assert payload["resolved"] == "val:k"
+
+
+def test_request_factory():
+    factory = request_factory(n_keys=4)
+    rng = RngRegistry(0).stream("t")
+    payload = factory(rng, 0, 777)
+    assert payload["key"].startswith("k")
+    assert payload["birth"] == 777

@@ -1,0 +1,68 @@
+"""Tests for the constant-time fan-in (Figure 5) application."""
+
+from repro.apps.fanin import (
+    build_fanin_app,
+    make_fanin_merger_class,
+    make_fanin_sender_class,
+    request_factory,
+)
+from repro.apps.wordcount import birth_of
+from repro.runtime.app import Deployment
+from repro.runtime.placement import single_engine_placement
+from repro.sim.kernel import ms, us
+from repro.sim.rng import RngRegistry
+
+
+class TestCostShapes:
+    def test_sender_estimator_matches_truth_by_default(self):
+        cls = make_fanin_sender_class(service_time=us(200))
+        cost = cls.handler_specs()["request"].cost
+        assert cost.true_nominal({}) == us(200)
+        assert cost.estimated({}, 0) == us(200)
+
+    def test_ad_hoc_estimator_error(self):
+        cls = make_fanin_sender_class(service_time=us(200),
+                                      estimate_error=1.5)
+        cost = cls.handler_specs()["request"].cost
+        assert cost.true_nominal({}) == us(200)
+        assert cost.estimated({}, 0) == us(300)
+
+    def test_merger_cost(self):
+        cls = make_fanin_merger_class(service_time=us(300),
+                                      estimate_error=0.9)
+        cost = cls.handler_specs()["input"].cost
+        assert cost.true_nominal({}) == us(300)
+        assert cost.estimated({}, 0) == us(270)
+
+
+class TestEndToEnd:
+    def test_requests_flow_and_hops_counted(self):
+        app = build_fanin_app(2)
+        dep = Deployment(app,
+                         single_engine_placement(app.component_names()),
+                         birth_of=birth_of)
+        dep.start()
+        dep.ingress("ext1").offer({"request": 0, "birth": 0})
+        dep.ingress("ext2").offer({"request": 1, "birth": 0})
+        dep.run(until=ms(10))
+        payloads = dep.consumer("sink").payloads()
+        assert sorted(p["request"] for p in payloads) == [0, 1]
+        assert [p["response"] for p in payloads] == [1, 2]
+        assert dep.runtime("merger").component.merged.get() == 2
+
+    def test_sender_handled_counter(self):
+        app = build_fanin_app(1)
+        dep = Deployment(app,
+                         single_engine_placement(app.component_names()),
+                         birth_of=birth_of)
+        dep.start()
+        for i in range(3):
+            dep.ingress("ext1").offer({"request": i, "birth": 0})
+        dep.run(until=ms(10))
+        assert dep.runtime("sender1").component.handled.get() == 3
+
+
+def test_request_factory():
+    factory = request_factory()
+    rng = RngRegistry(0).stream("t")
+    assert factory(rng, 5, 900) == {"request": 5, "birth": 900}

@@ -1,0 +1,68 @@
+"""Tests for the stream-pipeline application."""
+
+from repro.apps.pipeline import build_pipeline_app, reading_factory
+from repro.apps.wordcount import birth_of
+from repro.runtime.app import Deployment
+from repro.runtime.placement import single_engine_placement
+from repro.sim.kernel import ms
+from repro.sim.rng import RngRegistry
+
+
+def run_pipeline(readings, window=3):
+    app = build_pipeline_app(window=window)
+    dep = Deployment(app, single_engine_placement(app.component_names()),
+                     birth_of=birth_of)
+    dep.start()
+    for reading in readings:
+        dep.ingress("readings").offer(dict(reading, birth=dep.sim.now))
+        dep.run(until=dep.sim.now + ms(1))
+    dep.run(until=dep.sim.now + ms(20))
+    return dep
+
+
+class TestParser:
+    def test_rejects_invalid_readings(self):
+        readings = [
+            {"device": "d0", "fields": (1, 2)},
+            {"device": "d0", "fields": ()},          # empty: rejected
+            {"device": "d0", "fields": (1, None)},   # null: rejected
+            {"device": "d0", "fields": (3,)},
+        ]
+        dep = run_pipeline(readings, window=2)
+        parser = dep.runtime("parser").component
+        assert parser.accepted.get() == 2
+        assert parser.rejected.get() == 2
+
+
+class TestEnricher:
+    def test_registers_devices_and_numbers_readings(self):
+        readings = [{"device": f"d{i % 2}", "fields": (1,)} for i in range(4)]
+        dep = run_pipeline(readings, window=100)
+        devices = dep.runtime("enricher").component.devices
+        assert devices["d0"]["readings"] == 2
+        assert devices["d1"]["readings"] == 2
+
+
+class TestAggregator:
+    def test_windowed_reports(self):
+        readings = [{"device": "d0", "fields": (2,)} for _ in range(7)]
+        dep = run_pipeline(readings, window=3)
+        reports = dep.consumer("sink").payloads()
+        assert [r["report_no"] for r in reports] == [1, 2]
+        assert reports[0]["grand_total"] == 6    # 3 readings of value 2
+        assert reports[1]["grand_total"] == 12
+
+    def test_device_count_in_reports(self):
+        readings = [{"device": f"d{i}", "fields": (1,)} for i in range(3)]
+        dep = run_pipeline(readings, window=3)
+        (report,) = dep.consumer("sink").payloads()
+        assert report["devices"] == 3
+
+
+def test_reading_factory_shapes():
+    factory = reading_factory(n_devices=2, n_fields=3)
+    rng = RngRegistry(0).stream("t")
+    payload = factory(rng, 0, 500)
+    assert payload["device"] in ("dev0", "dev1")
+    assert len(payload["fields"]) == 3
+    assert payload["birth"] == 500

@@ -1,0 +1,157 @@
+"""Tests for the windowed stream join — order-sensitivity made visible."""
+
+import pytest
+
+from repro.apps.streamjoin import (
+    build_streamjoin_app,
+    make_join_class,
+    order_factory,
+    payment_factory,
+)
+from repro.apps.wordcount import birth_of
+from repro.runtime.app import Deployment
+from repro.runtime.engine import EngineConfig
+from repro.runtime.failure import FailureInjector
+from repro.runtime.placement import Placement, single_engine_placement
+from repro.sim.jitter import NormalTickJitter
+from repro.sim.kernel import ms, seconds, us
+
+
+def manual_deployment(window=ms(20)):
+    app = build_streamjoin_app(window)
+    dep = Deployment(app, single_engine_placement(app.component_names()),
+                     birth_of=birth_of)
+    dep.start()
+    return dep
+
+
+def offer(dep, input_id, key, amount=100):
+    dep.ingress(input_id).offer({"key": key, "amount": amount,
+                                 "birth": dep.sim.now})
+
+
+class TestJoinSemantics:
+    def test_order_then_payment_joins(self):
+        dep = manual_deployment()
+        offer(dep, "orders", "k1", 250)
+        dep.run(until=ms(1))
+        offer(dep, "payments", "k1", 250)
+        dep.run(until=ms(5))
+        (result,) = dep.consumer("sink").payloads()
+        assert result["kind"] == "joined"
+        assert result["amount"] == 250
+
+    def test_payment_without_order_unmatched(self):
+        dep = manual_deployment()
+        offer(dep, "payments", "k9")
+        dep.run(until=ms(5))
+        (result,) = dep.consumer("sink").payloads()
+        assert result["kind"] == "unmatched"
+
+    def test_window_expiry_in_virtual_time(self):
+        dep = manual_deployment(window=ms(10))
+        offer(dep, "orders", "k1")
+        dep.run(until=ms(1))
+        # Payment arrives well past the window; the order expires first.
+        dep.sim.run(until=ms(30))
+        offer(dep, "payments", "k1")
+        dep.run(until=ms(40))
+        kinds = [p["kind"] for p in dep.consumer("sink").payloads()]
+        assert kinds == ["expired", "unmatched"]
+
+    def test_second_payment_for_same_key_unmatched(self):
+        dep = manual_deployment()
+        offer(dep, "orders", "k1")
+        dep.run(until=ms(1))
+        offer(dep, "payments", "k1")
+        dep.run(until=ms(2))
+        offer(dep, "payments", "k1")
+        dep.run(until=ms(5))
+        kinds = [p["kind"] for p in dep.consumer("sink").payloads()]
+        assert kinds == ["joined", "unmatched"]
+
+
+def workload_deployment(mode, seed=0, duration=seconds(1), jitter_sd=0.1):
+    # Gateways ahead of the join give execution jitter something to
+    # reorder: their variable compute shuffles how the two streams
+    # interleave at the join under arrival-order scheduling.
+    from repro.core.component import Component, on_message
+    from repro.core.cost import fixed_cost
+    from repro.apps.streamjoin import make_join_class
+    from repro.runtime.app import Application
+
+    class Gateway(Component):
+        def setup(self):
+            self.out = self.output_port("out")
+
+        @on_message("input", cost=fixed_cost(us(150)))
+        def handle(self, payload):
+            self.out.send(payload)
+
+    app = Application("join-workload")
+    app.add_component("order_gw", Gateway)
+    app.add_component("pay_gw", Gateway)
+    app.add_component("join", make_join_class(ms(20)))
+    app.external_input("orders", "order_gw", "input")
+    app.external_input("payments", "pay_gw", "input")
+    app.wire("order_gw", "out", "join", "order")
+    app.wire("pay_gw", "out", "join", "payment")
+    app.external_output("join", "out", "sink")
+    dep = Deployment(
+        app, single_engine_placement(app.component_names()),
+        engine_config=EngineConfig(
+            mode=mode, jitter=NormalTickJitter(1.0, jitter_sd,
+                                               correlated=True)),
+        control_delay=us(5), birth_of=birth_of, master_seed=seed,
+    )
+    dep.add_poisson_producer("orders", order_factory(),
+                             mean_interarrival=us(700))
+    dep.add_poisson_producer("payments", payment_factory(),
+                             mean_interarrival=us(700))
+    dep.run(until=duration)
+    return dep
+
+
+def outcome_stream(dep):
+    return [(s, p["kind"], p["key"]) for s, _v, p, _t in
+            dep.consumer("sink").effective_outputs]
+
+
+class TestOrderSensitivity:
+    def test_deterministic_join_is_jitter_invariant(self):
+        calm = workload_deployment("deterministic", jitter_sd=0.0)
+        noisy = workload_deployment("deterministic", jitter_sd=0.4)
+        assert outcome_stream(calm) == outcome_stream(noisy)
+
+    def test_nondeterministic_join_is_jitter_sensitive(self):
+        # The same workload, arrival-order scheduling: enough jitter
+        # flips order/payment interleavings and the join RESULTS differ —
+        # the semantic hazard determinism removes.
+        calm = workload_deployment("nondeterministic", jitter_sd=0.0)
+        noisy = workload_deployment("nondeterministic", jitter_sd=0.4)
+        assert outcome_stream(calm) != outcome_stream(noisy)
+
+    def test_join_state_recovers_across_failover(self):
+        def build(kill):
+            app = build_streamjoin_app()
+            dep = Deployment(
+                app, Placement({"join": "E1"}),
+                engine_config=EngineConfig(jitter=NormalTickJitter(),
+                                           checkpoint_interval=ms(25)),
+                control_delay=us(5), birth_of=birth_of,
+            )
+            dep.add_poisson_producer("orders", order_factory(),
+                                     mean_interarrival=us(700))
+            dep.add_poisson_producer("payments", payment_factory(),
+                                     mean_interarrival=us(700))
+            if kill:
+                FailureInjector(dep).kill_engine("E1", at=ms(300),
+                                                 detection_delay=ms(2))
+            dep.run(until=seconds(1))
+            return dep
+
+        faulty, clean = build(True), build(False)
+        assert outcome_stream(faulty) == outcome_stream(clean)
+        stats = dict(faulty.runtime("join").component.stats.items())
+        assert stats == dict(clean.runtime("join").component.stats.items())
+        assert stats.get("joined", 0) > 50

@@ -1,0 +1,86 @@
+"""Tests for the word-count (Figure 1 / Code Body 1) application."""
+
+import pytest
+
+from repro.apps.wordcount import (
+    birth_of,
+    build_wordcount_app,
+    make_merger_class,
+    make_sender_class,
+    sentence_factory,
+    sentence_features,
+)
+from repro.core.estimators import ConstantEstimator
+from repro.runtime.app import Deployment
+from repro.runtime.placement import single_engine_placement
+from repro.sim.kernel import ms, us
+from repro.sim.rng import RngRegistry
+
+
+class TestSenderSemantics:
+    def _run(self, sentences, sender_class=None):
+        app = build_wordcount_app(1, sender_class=sender_class)
+        dep = Deployment(app,
+                         single_engine_placement(app.component_names()),
+                         birth_of=birth_of)
+        dep.start()
+        for sent in sentences:
+            dep.ingress("ext1").offer({"words": sent, "birth": dep.sim.now})
+            dep.run(until=dep.sim.now + ms(10))
+        dep.run(until=dep.sim.now + ms(50))
+        return dep
+
+    def test_counts_prior_occurrences(self):
+        # Code Body 1 semantics: output = sum of prior counts of the
+        # sentence's words (before this sentence's own increments).
+        dep = self._run([["a", "b"], ["a", "b"], ["a", "a"]])
+        counts = [p["count"] for p in dep.consumer("sink").payloads()]
+        # 1st: a,b unseen -> 0.  2nd: a=1,b=1 -> 2.  3rd: a=2 then a=3 -> 5.
+        assert counts == [0, 2, 5]
+
+    def test_state_persists_across_messages(self):
+        dep = self._run([["w"]] * 4)
+        counts = [p["count"] for p in dep.consumer("sink").payloads()]
+        assert counts == [0, 1, 2, 3]
+
+    def test_merger_aggregates(self):
+        dep = self._run([["a"], ["a"], ["a"]])
+        payloads = dep.consumer("sink").payloads()
+        assert [p["total"] for p in payloads] == [0, 1, 3]
+        assert [p["events"] for p in payloads] == [1, 2, 3]
+
+
+class TestFactories:
+    def test_sentence_features(self):
+        assert sentence_features({"words": ["x", "y"]}) == {"loop": 2}
+
+    def test_sentence_factory_lengths(self):
+        factory = sentence_factory(2, 5)
+        rng = RngRegistry(0).stream("t")
+        for i in range(50):
+            payload = factory(rng, i, 1_000)
+            assert 2 <= len(payload["words"]) <= 5
+            assert payload["birth"] == 1_000
+            assert payload["n"] == i
+
+    def test_birth_of(self):
+        assert birth_of({"birth": 42}) == 42
+        assert birth_of({"other": 1}) is None
+        assert birth_of("string") is None
+
+    def test_make_sender_class_with_custom_estimator(self):
+        cls = make_sender_class(per_iteration_true=us(60),
+                                estimator=ConstantEstimator(us(600)))
+        spec = cls.handler_specs()["input"]
+        assert spec.cost.estimated({"loop": 3}, 0) == us(600)
+        assert spec.cost.true_nominal({"loop": 3}) == us(180)
+
+    def test_make_merger_class_service_time(self):
+        cls = make_merger_class(service_time=us(123))
+        spec = cls.handler_specs()["input"]
+        assert spec.cost.true_nominal({}) == us(123)
+
+    def test_build_app_shape(self):
+        app = build_wordcount_app(3)
+        assert app.component_names() == ["sender1", "sender2", "sender3",
+                                         "merger"]

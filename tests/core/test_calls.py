@@ -1,0 +1,210 @@
+"""Unit tests for two-way service calls through the scheduler."""
+
+import pytest
+
+from repro.core.component import Component, on_call, on_message
+from repro.core.cost import SegmentedCost, fixed_cost
+from repro.core.message import CallReply, CallRequest
+from repro.core.ports import WireSpec
+from repro.errors import ComponentError
+from repro.sim.kernel import us
+
+from tests.helpers import Hub, wire
+
+
+class Caller(Component):
+    def setup(self):
+        self.results = self.state.value("results", [])
+        self.svc = self.service_port("svc")
+        self.out = self.output_port("out")
+
+    @on_message("input", cost=SegmentedCost(
+        [fixed_cost(us(15)), fixed_cost(us(10))]))
+    def handle(self, payload):
+        doubled = yield self.svc.call(payload)
+        self.results.set(self.results.get() + [doubled])
+        self.out.send(doubled)
+
+
+class Doubler(Component):
+    def setup(self):
+        self.calls = self.state.value("calls", 0)
+
+    @on_call("double", cost=fixed_cost(us(25)))
+    def double(self, payload):
+        self.calls.set(self.calls.get() + 1)
+        return payload * 2
+
+
+def build_call_pair(hub, call_delay=0, reply_delay=0):
+    caller = hub.add(Caller("caller"))
+    callee = hub.add(Doubler("callee"))
+    hub.connect(wire(50, "ext_in", dst="caller"), None, "caller",
+                external=True)
+    call_spec = WireSpec(1, "call", "caller", "svc", "callee", "double",
+                        _delay(call_delay))
+    reply_spec = WireSpec(2, "reply", "callee", None, "caller", None,
+                          _delay(reply_delay))
+    # Call wire: caller out + callee in.
+    hub.wire_ends[1] = ("caller", "callee")
+    caller.add_out_wire(call_spec)
+    caller.component.svc.attach(call_spec)
+    callee.add_in_wire(call_spec)
+    # Reply wire: callee out + caller reply-in.
+    hub.wire_ends[2] = ("callee", "caller")
+    callee.add_out_wire(reply_spec)
+    caller.add_reply_wire(reply_spec)
+    caller.component.svc.attach_reply(reply_spec)
+    # External output.
+    hub.connect(wire(3, "data", src="caller", src_port="out"), "caller",
+                None, port_name="out")
+    return caller, callee
+
+
+def _delay(ticks):
+    from repro.core.estimators import CommDelayEstimator
+
+    return CommDelayEstimator(ticks)
+
+
+class TestCallFlow:
+    def test_call_and_reply_roundtrip(self):
+        hub = Hub()
+        caller, callee = build_call_pair(hub)
+        hub.inject(50, 0, 1_000, 21)
+        hub.run()
+        assert caller.component.results.get() == [42]
+        assert callee.component.calls.get() == 1
+        assert [m.payload for m in hub.sunk] == [42]
+
+    def test_virtual_time_accounting_across_call(self):
+        hub = Hub()
+        caller, callee = build_call_pair(hub)
+        hub.inject(50, 0, 1_000, 1)
+        hub.run()
+        # Segment 0 ends at 1000 + 15us; call request carries that vt.
+        # Callee processes at dequeue 16000, replies at 16000 + 25us;
+        # caller resumes there and finishes + 10us.
+        assert callee.component_vt == 16_000 + 25_000
+        assert caller.component_vt == 41_000 + 10_000
+        # Output vt = caller's completion vt + zero comm estimate.
+        assert hub.sunk[0].vt == 51_000
+
+    def test_output_vt_after_call(self):
+        hub = Hub()
+        caller, callee = build_call_pair(hub, call_delay=us(5),
+                                         reply_delay=us(7))
+        hub.inject(50, 0, 0, 3)
+        hub.run()
+        # call vt = 15us + 5us = 20us; callee done 45us; reply vt 52us;
+        # caller resumes at 52us, ends 62us; output vt 62us.
+        assert hub.sunk[0].vt == us(62)
+
+    def test_caller_blocks_other_inputs_during_call(self):
+        hub = Hub()
+        caller, callee = build_call_pair(hub)
+        hub.inject(50, 0, 1_000, 1)
+        # Second message arrives while the first is mid-call.
+        hub.inject(50, 1, 1_500, 2)
+        assert caller.mid_call or caller.busy_info is not None
+        hub.run()
+        assert caller.component.results.get() == [2, 4]
+
+    def test_call_ids_increment(self):
+        hub = Hub()
+        caller, callee = build_call_pair(hub)
+        for i in range(3):
+            hub.inject(50, i, 1_000 * (i + 1), i)
+            hub.run()
+        assert caller._next_call_id == 3
+
+    def test_duplicate_reply_discarded(self):
+        hub = Hub()
+        caller, callee = build_call_pair(hub)
+        hub.inject(50, 0, 1_000, 5)
+        hub.run()
+        reply = callee.out_senders[2].replay_from(0)[0]
+        caller.on_reply_msg(reply)  # replayed duplicate
+        assert hub.metrics.counter("duplicates_discarded") == 1
+        assert caller.component.results.get() == [10]
+
+    def test_early_replayed_reply_buffered_and_consumed(self):
+        # A reply that arrives before the (re-executed) call is issued is
+        # buffered by call_id and consumed when the call happens.
+        hub = Hub()
+        caller, callee = build_call_pair(hub)
+        hub.inject(50, 0, 1_000, 5)
+        hub.run()
+        reply = callee.out_senders[2].replay_from(0)[0]
+
+        hub2 = Hub()
+        caller2, callee2 = build_call_pair(hub2)
+        caller2.on_reply_msg(CallReply(2, reply.seq, reply.vt, reply.payload,
+                                       call_id=reply.call_id))
+        assert caller2._reply_buffer  # parked
+        hub2.inject(50, 0, 1_000, 5)
+        hub2.run()
+        assert caller2.component.results.get() == [10]
+        # The callee never saw the call in hub2, so its own reply (seq 0)
+        # would have been a duplicate had it arrived; the buffered one
+        # satisfied the caller.
+
+    def test_mid_call_snapshot_rejected(self):
+        from repro.errors import SchedulingError
+
+        hub = Hub()
+        caller, callee = build_call_pair(hub)
+        hub.inject(50, 0, 1_000, 1)
+        # Run just past segment 0 so the generator is live.
+        hub.sim.run(until=us(16))
+        assert caller.mid_call
+        with pytest.raises(SchedulingError):
+            caller.snapshot(incremental=False)
+
+    def test_generator_must_yield_call_tickets(self):
+        class BadCaller(Component):
+            def setup(self):
+                pass
+
+            @on_message("input", cost=fixed_cost(10))
+            def handle(self, payload):
+                yield "not a ticket"
+
+        hub = Hub()
+        hub.add(BadCaller("bad"))
+        hub.connect(wire(50, "ext_in", dst="bad"), None, "bad", external=True)
+        hub.inject(50, 0, 100, None)
+        with pytest.raises(ComponentError):
+            hub.run()
+
+    def test_more_calls_than_segments_rejected(self):
+        class Greedy(Component):
+            def setup(self):
+                self.svc = self.service_port("svc")
+
+            @on_message("input", cost=SegmentedCost(
+                [fixed_cost(10), fixed_cost(10)]))
+            def handle(self, payload):
+                yield self.svc.call(payload)
+                yield self.svc.call(payload)  # second call, undeclared
+
+        hub = Hub()
+        greedy = hub.add(Greedy("greedy"))
+        callee = hub.add(Doubler("callee"))
+        hub.connect(wire(50, "ext_in", dst="greedy"), None, "greedy",
+                    external=True)
+        call_spec = WireSpec(1, "call", "greedy", "svc", "callee", "double",
+                             _delay(0))
+        reply_spec = WireSpec(2, "reply", "callee", None, "greedy", None,
+                              _delay(0))
+        hub.wire_ends[1] = ("greedy", "callee")
+        greedy.add_out_wire(call_spec)
+        greedy.component.svc.attach(call_spec)
+        callee.add_in_wire(call_spec)
+        hub.wire_ends[2] = ("callee", "greedy")
+        callee.add_out_wire(reply_spec)
+        greedy.add_reply_wire(reply_spec)
+        greedy.component.svc.attach_reply(reply_spec)
+        hub.inject(50, 0, 100, 1)
+        with pytest.raises(ComponentError):
+            hub.run()

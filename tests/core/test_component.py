@@ -1,0 +1,110 @@
+"""Unit tests for the component programming model."""
+
+import pytest
+
+from repro.core.component import Component, on_call, on_message
+from repro.core.cost import fixed_cost
+from repro.core.ports import OutputPort, ServicePort
+from repro.errors import ComponentError
+
+
+class Echo(Component):
+    def setup(self):
+        self.count = self.state.value("count", 0)
+        self.out = self.output_port("out")
+
+    @on_message("input", cost=fixed_cost(10))
+    def handle(self, payload):
+        self.count.set(self.count.get() + 1)
+        self.out.send(payload)
+
+
+class Service(Component):
+    def setup(self):
+        pass
+
+    @on_call("query", cost=fixed_cost(5))
+    def answer(self, payload):
+        return payload * 2
+
+
+class Derived(Echo):
+    @on_message("input", cost=fixed_cost(20))
+    def handle(self, payload):  # overrides the parent handler
+        self.out.send((payload, payload))
+
+
+class TestHandlerRegistry:
+    def test_specs_collected(self):
+        specs = Echo.handler_specs()
+        assert set(specs) == {"input"}
+        assert specs["input"].method_name == "handle"
+        assert not specs["input"].two_way
+
+    def test_on_call_marks_two_way(self):
+        specs = Service.handler_specs()
+        assert specs["query"].two_way
+
+    def test_subclass_overrides_handler(self):
+        specs = Derived.handler_specs()
+        assert specs["input"].cost.true_nominal({}) == 20
+
+    def test_handler_for_unknown_input(self):
+        comp = Echo("e1")
+        with pytest.raises(ComponentError):
+            comp.handler_for("nope")
+
+    def test_handler_for_returns_bound_method(self):
+        comp = Echo("e1")
+        handler = comp.handler_for("input")
+        assert handler.__self__ is comp
+
+    def test_default_cost_when_unspecified(self):
+        class Bare(Component):
+            @on_message("x")
+            def handle(self, payload):
+                pass
+
+        spec = Bare.handler_specs()["x"]
+        assert spec.cost.true_nominal({}) == 1_000
+
+
+class TestPorts:
+    def test_setup_declares_ports(self):
+        comp = Echo("e1")
+        comp.setup()
+        ports = comp.ports()
+        assert isinstance(ports["out"], OutputPort)
+
+    def test_duplicate_port_rejected(self):
+        comp = Echo("e1")
+        comp.output_port("p")
+        with pytest.raises(ComponentError):
+            comp.output_port("p")
+
+    def test_service_port_type(self):
+        comp = Echo("e1")
+        port = comp.service_port("svc")
+        assert isinstance(port, ServicePort)
+
+    def test_send_outside_runtime_rejected(self):
+        comp = Echo("e1")
+        comp.setup()
+        with pytest.raises(ComponentError):
+            comp.out.send("x")
+
+    def test_service_port_send_rejected(self):
+        comp = Echo("e1")
+        port = comp.service_port("svc")
+        with pytest.raises(ComponentError):
+            port.send("x")
+
+
+class TestTimingService:
+    def test_now_outside_runtime_rejected(self):
+        comp = Echo("e1")
+        with pytest.raises(ComponentError):
+            comp.now()
+
+    def test_repr(self):
+        assert "e1" in repr(Echo("e1"))

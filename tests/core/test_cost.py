@@ -1,0 +1,117 @@
+"""Unit tests for handler cost models."""
+
+import pytest
+
+from repro.core.cost import CostModel, LinearCost, SegmentedCost, fixed_cost
+from repro.core.estimators import ConstantEstimator, LinearEstimator
+from repro.errors import ComponentError
+
+
+class TestLinearCost:
+    def test_truth_defaults_to_estimate(self):
+        cost = LinearCost({"loop": 60_000},
+                          features=lambda p: {"loop": len(p)})
+        feats = cost.features([1, 2, 3])
+        assert feats == {"loop": 3}
+        assert cost.true_nominal(feats) == 180_000
+        assert cost.estimated(feats, at_vt=0) == 180_000
+
+    def test_separate_truth(self):
+        cost = LinearCost({"loop": 50_000},
+                          features=lambda p: {"loop": p},
+                          true_per_feature={"loop": 60_000})
+        assert cost.estimated({"loop": 2}, 0) == 100_000
+        assert cost.true_nominal({"loop": 2}) == 120_000
+
+    def test_default_min_features_is_one_per_block(self):
+        cost = LinearCost({"loop": 60_000}, features=lambda p: {"loop": p})
+        assert cost.min_features() == {"loop": 1}
+        assert cost.min_estimated(0) == 60_000
+
+    def test_feature_extractor_must_return_dict(self):
+        cost = CostModel(ConstantEstimator(1), features=lambda p: [1])
+        with pytest.raises(ComponentError):
+            cost.features("x")
+
+    def test_single_segment_indexing(self):
+        cost = fixed_cost(100)
+        assert cost.segment(0) is cost
+        with pytest.raises(ComponentError):
+            cost.segment(1)
+
+    def test_estimator_revision_respected(self):
+        cost = LinearCost({"loop": 61_000}, features=lambda p: {"loop": p})
+        cost.estimator.revise(1_000_000, LinearEstimator({"loop": 62_000}))
+        assert cost.estimated({"loop": 1}, at_vt=0) == 61_000
+        assert cost.estimated({"loop": 1}, at_vt=2_000_000) == 62_000
+
+
+class TestFixedCost:
+    def test_constant_both_ways(self):
+        cost = fixed_cost(400_000)
+        assert cost.true_nominal({}) == 400_000
+        assert cost.estimated({}, 0) == 400_000
+        assert cost.min_estimated(0) == 400_000
+        assert cost.features("anything") == {}
+
+
+class TestClone:
+    def test_clone_resets_revisions(self):
+        cost = LinearCost({"loop": 61_000}, features=lambda p: {"loop": p})
+        cost.estimator.revise(100, LinearEstimator({"loop": 99_000}))
+        clone = cost.clone()
+        assert clone.estimated({"loop": 1}, at_vt=10**9) == 61_000
+        assert len(clone.estimator.revisions()) == 1
+
+    def test_clone_preserves_truth_and_extractor(self):
+        cost = LinearCost({"loop": 50_000},
+                          features=lambda p: {"loop": p * 2},
+                          true_per_feature={"loop": 60_000})
+        clone = cost.clone()
+        assert clone.features(3) == {"loop": 6}
+        assert clone.true_nominal({"loop": 1}) == 60_000
+
+    def test_clones_are_independent(self):
+        cost = fixed_cost(100)
+        a, b = cost.clone(), cost.clone()
+        a.estimator.revise(10, ConstantEstimator(999))
+        assert b.estimated({}, at_vt=20) == 100
+
+
+class TestSegmentedCost:
+    def test_segments_and_totals(self):
+        seg = SegmentedCost([fixed_cost(100), fixed_cost(50)])
+        assert seg.segments == 2
+        assert seg.true_nominal({}) == 150
+        assert seg.estimated({}, 0) == 150
+        assert seg.segment(1).true_nominal({}) == 50
+
+    def test_out_of_range_segment(self):
+        seg = SegmentedCost([fixed_cost(100)])
+        with pytest.raises(ComponentError):
+            seg.segment(1)
+
+    def test_shared_feature_extractor(self):
+        seg = SegmentedCost(
+            [LinearCost({"n": 10}, features=lambda p: {"n": p}),
+             fixed_cost(5)],
+        )
+        assert seg.features(4) == {"n": 4}
+
+    def test_min_estimated_uses_first_segment(self):
+        seg = SegmentedCost([
+            LinearCost({"n": 10}, features=lambda p: {"n": p}),
+            fixed_cost(1000),
+        ])
+        assert seg.min_estimated(0) == 10
+
+    def test_clone(self):
+        seg = SegmentedCost([fixed_cost(100), fixed_cost(50)])
+        seg.estimator.revise(10, ConstantEstimator(1))
+        clone = seg.clone()
+        assert clone.segments == 2
+        assert clone.estimated({}, at_vt=100) == 150
+
+    def test_rejects_empty(self):
+        with pytest.raises(ComponentError):
+            SegmentedCost([])

@@ -1,0 +1,148 @@
+"""Unit tests for determinism-fault logging and replay."""
+
+import pytest
+
+from repro.core.component import Component, on_message
+from repro.core.cost import LinearCost
+from repro.core.determinism_fault import (
+    DeterminismFaultManager,
+    ListFaultLog,
+    estimator_to_fields,
+    fields_to_estimator,
+)
+from repro.core.estimators import ConstantEstimator, LinearEstimator
+from repro.errors import DeterminismFaultError
+
+from tests.helpers import Hub, wire
+
+
+class Sender(Component):
+    def setup(self):
+        self.out = self.output_port("out")
+
+    @on_message("input", cost=LinearCost(
+        {"loop": 61_000}, features=lambda p: {"loop": p}))
+    def handle(self, payload):
+        self.out.send(payload)
+
+
+def make_runtime(hub=None):
+    hub = hub or Hub()
+    runtime = hub.add(Sender("s1"))
+    hub.connect(wire(10, "ext_in", dst="s1"), None, "s1", external=True)
+    hub.connect(wire(1, "data", src="s1", src_port="out"), "s1", None,
+                port_name="out")
+    return hub, runtime
+
+
+class TestFieldCodec:
+    def test_linear_roundtrip(self):
+        est = LinearEstimator({"a": 10, "b": 20}, intercept=5)
+        coeffs, intercept = estimator_to_fields(est)
+        assert fields_to_estimator(coeffs, intercept) == est
+
+    def test_constant_roundtrip(self):
+        est = ConstantEstimator(600_000)
+        coeffs, intercept = estimator_to_fields(est)
+        assert fields_to_estimator(coeffs, intercept) == est
+
+    def test_unknown_estimator_rejected(self):
+        class Weird:
+            pass
+
+        with pytest.raises(DeterminismFaultError):
+            estimator_to_fields(Weird())
+
+
+class TestRecalibrate:
+    def test_logged_before_applied(self):
+        class FailingLog:
+            def append(self, record):
+                raise DeterminismFaultError("log unavailable")
+
+            def records(self):
+                return []
+
+        hub, runtime = make_runtime()
+        manager = DeterminismFaultManager(FailingLog())
+        spec = runtime.in_wires[10].handler_spec
+        with pytest.raises(DeterminismFaultError):
+            manager.recalibrate(runtime, "input",
+                                LinearEstimator({"loop": 62_000}))
+        # The failed fault must not have changed behaviour.
+        assert spec.cost.estimated({"loop": 1}, at_vt=10**12) == 61_000
+
+    def test_effective_vt_beyond_current_state(self):
+        hub, runtime = make_runtime()
+        hub.inject(10, 0, 50_000, 3)
+        hub.run()
+        log = ListFaultLog()
+        manager = DeterminismFaultManager(log)
+        record = manager.recalibrate(runtime, "input",
+                                     LinearEstimator({"loop": 62_000}))
+        assert record.effective_vt > runtime.component_vt
+        for sender in runtime.out_senders.values():
+            assert record.effective_vt > sender.silence_promised
+
+    def test_old_estimator_used_before_effective_vt(self):
+        hub, runtime = make_runtime()
+        hub.inject(10, 0, 50_000, 3)
+        hub.run()
+        manager = DeterminismFaultManager(ListFaultLog())
+        record = manager.recalibrate(runtime, "input",
+                                     LinearEstimator({"loop": 62_000}))
+        cost = runtime.in_wires[10].handler_spec.cost
+        assert cost.estimated({"loop": 1}, at_vt=record.effective_vt - 1) == 61_000
+        assert cost.estimated({"loop": 1}, at_vt=record.effective_vt) == 62_000
+
+    def test_metrics_counted(self):
+        hub, runtime = make_runtime()
+        manager = DeterminismFaultManager(ListFaultLog())
+        manager.recalibrate(runtime, "input", ConstantEstimator(1))
+        assert hub.metrics.counter("determinism_faults") == 1
+
+    def test_unknown_handler_rejected(self):
+        hub, runtime = make_runtime()
+        manager = DeterminismFaultManager(ListFaultLog())
+        with pytest.raises(DeterminismFaultError):
+            manager.recalibrate(runtime, "nope", ConstantEstimator(1))
+
+
+class TestReplay:
+    def test_replay_into_reapplies_revisions(self):
+        hub, runtime = make_runtime()
+        hub.inject(10, 0, 50_000, 3)
+        hub.run()
+        log = ListFaultLog()
+        manager = DeterminismFaultManager(log)
+        record = manager.recalibrate(runtime, "input",
+                                     LinearEstimator({"loop": 62_000}))
+
+        # Fresh runtime (as after failover): revisions come from the log.
+        hub2, runtime2 = make_runtime()
+        applied = manager2 = DeterminismFaultManager(log).replay_into(runtime2)
+        assert applied == 1
+        cost = runtime2.in_wires[10].handler_spec.cost
+        assert cost.estimated({"loop": 1}, record.effective_vt - 1) == 61_000
+        assert cost.estimated({"loop": 1}, record.effective_vt) == 62_000
+
+    def test_replay_filters_by_component(self):
+        hub, runtime = make_runtime()
+        log = ListFaultLog()
+        manager = DeterminismFaultManager(log)
+        manager.recalibrate(runtime, "input", ConstantEstimator(5))
+
+        hub2 = Hub()
+        other = hub2.add(Sender("different-name"))
+        hub2.connect(wire(10, "ext_in", dst="different-name"), None,
+                     "different-name", external=True)
+        assert DeterminismFaultManager(log).replay_into(other) == 0
+
+    def test_log_len_and_records(self):
+        log = ListFaultLog()
+        assert len(log) == 0
+        hub, runtime = make_runtime()
+        DeterminismFaultManager(log).recalibrate(
+            runtime, "input", ConstantEstimator(5))
+        assert len(log) == 1
+        assert log.records()[0].component == "s1"

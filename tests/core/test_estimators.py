@@ -1,0 +1,105 @@
+"""Unit tests for estimators."""
+
+import pytest
+
+from repro.core.estimators import (
+    CommDelayEstimator,
+    ConstantEstimator,
+    LinearEstimator,
+    SwitchableEstimator,
+)
+from repro.errors import VirtualTimeError
+
+
+class TestConstantEstimator:
+    def test_ignores_features(self):
+        est = ConstantEstimator(600_000)
+        assert est.estimate({}) == 600_000
+        assert est.estimate({"loop": 50}) == 600_000
+
+    def test_rejects_negative(self):
+        with pytest.raises(VirtualTimeError):
+            ConstantEstimator(-1)
+
+    def test_equality_and_hash(self):
+        assert ConstantEstimator(5) == ConstantEstimator(5)
+        assert ConstantEstimator(5) != ConstantEstimator(6)
+        assert hash(ConstantEstimator(5)) == hash(ConstantEstimator(5))
+
+
+class TestLinearEstimator:
+    def test_eq1_evaluation(self):
+        # Paper Eq. 1: tau = b0 + b1*x1 + b2*x2.
+        est = LinearEstimator({"x1": 100, "x2": 7}, intercept=10)
+        assert est.estimate({"x1": 3, "x2": 2}) == 10 + 300 + 14
+
+    def test_missing_features_count_as_zero(self):
+        est = LinearEstimator({"loop": 61_000})
+        assert est.estimate({}) == 0
+
+    def test_code_body_1_example(self):
+        # "outVT = inVT + 61000*sent.length" with a 3-word sentence.
+        est = LinearEstimator({"loop": 61_000})
+        assert est.estimate({"loop": 3}) == 183_000
+
+    def test_clamped_at_zero(self):
+        est = LinearEstimator({"x": -10})
+        assert est.estimate({"x": 5}) == 0
+
+    def test_rejects_negative_intercept(self):
+        with pytest.raises(VirtualTimeError):
+            LinearEstimator({}, intercept=-1)
+
+    def test_equality(self):
+        assert (LinearEstimator({"a": 1}, 2) == LinearEstimator({"a": 1}, 2))
+        assert (LinearEstimator({"a": 1}) != LinearEstimator({"a": 2}))
+
+
+class TestSwitchableEstimator:
+    def test_initial_revision_applies_everywhere(self):
+        sw = SwitchableEstimator(ConstantEstimator(100))
+        assert sw.estimate_at({}, 0) == 100
+        assert sw.estimate_at({}, 10**12) == 100
+
+    def test_revision_applies_at_effective_vt(self):
+        # Paper II.G.4: "the component must be careful to use the old
+        # estimator until reaching time 100,000,000, and only then using
+        # the new estimator."
+        sw = SwitchableEstimator(LinearEstimator({"loop": 61_000}))
+        sw.revise(100_000_000, LinearEstimator({"loop": 62_000}))
+        assert sw.estimate_at({"loop": 1}, 99_999_999) == 61_000
+        assert sw.estimate_at({"loop": 1}, 100_000_000) == 62_000
+
+    def test_multiple_revisions(self):
+        sw = SwitchableEstimator(ConstantEstimator(1))
+        sw.revise(10, ConstantEstimator(2))
+        sw.revise(20, ConstantEstimator(3))
+        assert sw.estimate_at({}, 5) == 1
+        assert sw.estimate_at({}, 15) == 2
+        assert sw.estimate_at({}, 25) == 3
+        assert len(sw.revisions()) == 3
+
+    def test_rejects_out_of_order_revision(self):
+        sw = SwitchableEstimator(ConstantEstimator(1))
+        sw.revise(100, ConstantEstimator(2))
+        with pytest.raises(VirtualTimeError):
+            sw.revise(50, ConstantEstimator(3))
+
+    def test_plain_estimate_uses_latest(self):
+        sw = SwitchableEstimator(ConstantEstimator(1))
+        sw.revise(10, ConstantEstimator(2))
+        assert sw.estimate({}) == 2
+
+
+class TestCommDelayEstimator:
+    def test_constant_delay(self):
+        est = CommDelayEstimator(50_000)
+        assert est.estimate({}) == 50_000
+
+    def test_per_unit_term(self):
+        est = CommDelayEstimator(1_000, per_unit_ticks=10, unit_feature="bytes")
+        assert est.estimate({"bytes": 100}) == 2_000
+
+    def test_rejects_negative(self):
+        with pytest.raises(VirtualTimeError):
+            CommDelayEstimator(-1)

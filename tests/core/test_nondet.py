@@ -1,0 +1,103 @@
+"""Unit tests for the non-deterministic baseline scheduler."""
+
+from repro.core.component import Component, on_message
+from repro.core.cost import fixed_cost
+from repro.core.message import DataMessage, SilenceAdvance
+from repro.core.nondet_scheduler import NonDeterministicComponentRuntime
+from repro.core.silence_policy import NullSilencePolicy
+from repro.sim.kernel import us
+
+from tests.helpers import Hub, wire
+
+
+class Recorder(Component):
+    def setup(self):
+        self.seen = self.state.value("seen", [])
+
+    @on_message("input", cost=fixed_cost(us(100)))
+    def handle(self, payload):
+        self.seen.set(self.seen.get() + [payload])
+
+
+def make_merger(hub):
+    runtime = hub.add(Recorder("m"), policy=NullSilencePolicy(),
+                      runtime_cls=NonDeterministicComponentRuntime)
+    for i in (1, 2):
+        hub.connect(wire(i, "data", dst="m"), None, "m")
+    return runtime
+
+
+class TestArrivalOrder:
+    def test_processes_in_arrival_order_regardless_of_vt(self):
+        hub = Hub()
+        merger = make_merger(hub)
+        merger.on_data(DataMessage(1, 0, 300_000, "late-vt-first-arrival"))
+        merger.on_data(DataMessage(2, 0, 200_000, "early-vt-second-arrival"))
+        hub.run()
+        assert merger.component.seen.get() == [
+            "late-vt-first-arrival", "early-vt-second-arrival",
+        ]
+
+    def test_no_pessimism_or_probes(self):
+        hub = Hub()
+        merger = make_merger(hub)
+        merger.on_data(DataMessage(1, 0, 300_000, "a"))
+        hub.run()
+        assert hub.metrics.counter("pessimism_events") == 0
+        assert hub.metrics.counter("curiosity_probes") == 0
+        assert merger.component.seen.get() == ["a"]
+
+    def test_interleaved_wires_fifo(self):
+        hub = Hub()
+        merger = make_merger(hub)
+        merger.on_data(DataMessage(1, 0, 100, "a1"))
+        merger.on_data(DataMessage(2, 0, 200, "b1"))
+        merger.on_data(DataMessage(1, 1, 300, "a2"))
+        hub.run()
+        assert merger.component.seen.get() == ["a1", "b1", "a2"]
+
+    def test_out_of_order_still_counted(self):
+        hub = Hub()
+        merger = make_merger(hub)
+        merger.on_data(DataMessage(1, 0, 300_000, "a"))
+        merger.on_data(DataMessage(2, 0, 200_000, "b"))
+        assert hub.metrics.counter("out_of_order_arrivals") == 1
+
+    def test_silence_advances_ignored(self):
+        hub = Hub()
+        merger = make_merger(hub)
+        merger.on_silence(SilenceAdvance(1, 10**9))  # no-op, no error
+        hub.run()
+        assert merger.component.seen.get() == []
+
+    def test_vt_stamping_still_monotonic_per_component(self):
+        # Even under arrival-order processing, dequeue vts are monotone
+        # (dequeue = max(msg vt, component vt)), so per-wire output vts
+        # stay strictly increasing — required for mixed-mode wiring.
+        class Fwd(Component):
+            def setup(self):
+                self.out = self.output_port("out")
+
+            @on_message("input", cost=fixed_cost(us(10)))
+            def handle(self, payload):
+                self.out.send(payload)
+
+        hub = Hub()
+        fwd = hub.add(Fwd("f"), policy=NullSilencePolicy(),
+                      runtime_cls=NonDeterministicComponentRuntime)
+        hub.connect(wire(1, "data", dst="f"), None, "f")
+        hub.connect(wire(2, "data", src="f", src_port="out"), "f", None,
+                    port_name="out")
+        fwd.on_data(DataMessage(1, 0, 500_000, "hi-vt"))
+        fwd.on_data(DataMessage(1, 1, 600_000, "higher"))
+        hub.run()
+        vts = [m.vt for m in hub.sunk]
+        assert vts == sorted(vts)
+        assert len(set(vts)) == len(vts)
+
+    def test_baseline_anomaly_counter_for_duplicates(self):
+        hub = Hub()
+        merger = make_merger(hub)
+        merger.on_data(DataMessage(1, 0, 100, "a"))
+        merger.on_data(DataMessage(1, 0, 100, "a"))
+        assert hub.metrics.counter("baseline_anomalies") == 1

@@ -1,0 +1,229 @@
+"""Unit tests for silence-fact computation (paper II.H).
+
+The soundness of the whole deterministic schedule hangs on these bounds:
+every promise must be a *fact* — no data tick may ever appear at or
+below it.  These tests pin the idle, busy (prescient and progressive),
+blocked-pending, and suspended-on-call cases, and the loud failure mode
+when a promise would be violated.
+"""
+
+import pytest
+
+from repro.core.component import Component, on_message
+from repro.core.cost import LinearCost, SegmentedCost, fixed_cost
+from repro.core.message import DataMessage, SilenceAdvance
+from repro.sim.jitter import NoJitter, NormalTickJitter
+from repro.sim.kernel import us
+from repro.vt.time import NEVER
+
+from tests.helpers import Hub, wire
+
+
+class Worker(Component):
+    def setup(self):
+        self.out = self.output_port("out")
+
+    @on_message("input", cost=LinearCost(
+        {"loop": us(60)}, features=lambda p: {"loop": p}))
+    def handle(self, payload):
+        self.out.send(payload)
+
+
+def make_worker(hub=None, **hub_kwargs):
+    hub = hub or Hub(**hub_kwargs)
+    runtime = hub.add(Worker("w"))
+    hub.connect(wire(10, "ext_in", dst="w"), None, "w", external=True)
+    hub.connect(wire(1, "data", src="w", src_port="out"), "w", None,
+                port_name="out")
+    return hub, runtime
+
+
+class TestIdleFacts:
+    def test_idle_component_promises_now_plus_min_cost(self):
+        hub, runtime = make_worker()
+        hub.sim.at(us(500), lambda: None)
+        hub.run()
+        # Idle at vt 0, real now 500us, min cost 60us (one iteration):
+        # earliest input at now, earliest output now + 60us.
+        assert runtime.silence_fact(1) == us(500) + us(60) - 1
+
+    def test_idle_fact_monotone_with_real_time(self):
+        hub, runtime = make_worker()
+        facts = []
+        for t in (us(100), us(200), us(300)):
+            hub.sim.at(t, lambda: facts.append(runtime.silence_fact(1)))
+        hub.run()
+        assert facts == sorted(facts)
+        assert facts[1] - facts[0] == us(100)
+
+    def test_component_vt_bounds_idle_fact(self):
+        hub, runtime = make_worker()
+        hub.inject(10, 0, us(100), 10)  # completes at vt 100us + 600us
+        hub.run()
+        # Real time now ~700us but component vt is 700us too; if the
+        # component's vt exceeded real time the fact would follow vt.
+        assert runtime.component_vt == us(700)
+        fact = runtime.silence_fact(1)
+        assert fact >= runtime.component_vt + us(60) - 1
+
+    def test_no_inputs_means_silent_forever(self):
+        class SourcelessSink(Component):
+            def setup(self):
+                self.out = self.output_port("out")
+
+            @on_message("never", cost=fixed_cost(1))
+            def handle(self, payload):
+                pass
+
+        hub = Hub()
+        runtime = hub.add(SourcelessSink("s"))
+        hub.connect(wire(1, "data", src="s", src_port="out"), "s", None,
+                    port_name="out")
+        assert runtime.silence_fact(1) == NEVER
+
+    def test_comm_delay_estimate_included(self):
+        hub = Hub()
+        runtime = hub.add(Worker("w"))
+        hub.connect(wire(10, "ext_in", dst="w"), None, "w", external=True)
+        hub.connect(wire(1, "data", src="w", src_port="out",
+                         delay_estimate=us(100)), "w", None, port_name="out")
+        hub.sim.at(us(500), lambda: None)
+        hub.run()
+        assert runtime.silence_fact(1) == us(500) + us(60) + us(100) - 1
+
+    def test_blocked_pending_message_bounds_fact(self):
+        """A held message's vt caps the earliest-dequeue bound."""
+
+        class TwoIn(Component):
+            def setup(self):
+                self.out = self.output_port("out")
+
+            @on_message("input", cost=fixed_cost(us(60)))
+            def handle(self, payload):
+                self.out.send(payload)
+
+        hub = Hub()
+        runtime = hub.add(TwoIn("t"))
+        hub.connect(wire(11, "data", dst="t"), None, "t")
+        hub.connect(wire(12, "data", dst="t"), None, "t")
+        hub.connect(wire(1, "data", src="t", src_port="out"), "t", None,
+                    port_name="out")
+        # Pending on wire 11 at vt 10ms, blocked: wire 12 unaccounted.
+        runtime.on_data(DataMessage(11, 0, us(10_000), "held"))
+        hub.sim.run(max_events=5)
+        assert runtime.busy_info is None  # still held
+        # Pending vt (10ms) lower-bounds the dequeue even though the
+        # other wire could deliver earlier ticks (horizon -1 + 1 = 0).
+        fact = runtime.silence_fact(1)
+        assert fact == max(0, 0) + us(60) - 1  # min over wires: wire 12
+
+    def test_replay_pending_disables_external_now_bound(self):
+        hub, runtime = make_worker()
+        hub.sim.at(us(500), lambda: None)
+        hub.run()
+        runtime._replay_pending.add(10)
+        # Horizon of the external wire is -1 and the now-bound is off.
+        assert runtime.silence_fact(1) == 0 + us(60) - 1
+        # The ingress's trailing advance closes the replay window, which
+        # re-enables the now-bound (real time 500us dominates the 400us
+        # advance).
+        runtime.on_silence(SilenceAdvance(10, us(400)))
+        assert 10 not in runtime._replay_pending
+        assert runtime.silence_fact(1) == us(500) + us(60) - 1
+
+
+class TestBusyFacts:
+    def _start_busy(self, prescient, iterations=10, jitter=None):
+        hub = Hub(prescient=prescient, jitter=jitter or NoJitter())
+        runtime = hub.add(Worker("w"))
+        hub.connect(wire(10, "ext_in", dst="w"), None, "w", external=True)
+        hub.connect(wire(1, "data", src="w", src_port="out"), "w", None,
+                    port_name="out")
+        hub.inject(10, 0, us(100), iterations)  # dispatches immediately
+        assert runtime.busy_info is not None
+        return hub, runtime
+
+    def test_prescient_promises_through_exact_completion(self):
+        hub, runtime = self._start_busy(prescient=True, iterations=10)
+        # Output will be at 100us + 600us; promise = that - 1.
+        assert runtime.silence_fact(1) == us(700) - 1
+
+    def test_non_prescient_starts_at_minimum(self):
+        hub, runtime = self._start_busy(prescient=False, iterations=10)
+        # At progress 0 the bound is the one-iteration minimum.
+        assert runtime.silence_fact(1) == us(100) + us(60) - 1
+
+    def test_progressive_bound_grows_with_progress(self):
+        hub, runtime = self._start_busy(prescient=False, iterations=10)
+        facts = []
+        for frac in (0.25, 0.5, 0.9):
+            hub.sim.at(int(us(600) * frac),
+                       lambda: facts.append(runtime.silence_fact(1)))
+        hub.sim.run(until=us(599))
+        assert facts == sorted(facts)
+        assert facts[0] > us(100) + us(60)   # beyond the minimum already
+        # The bound never reaches the true output vt while running.
+        assert all(f < us(700) for f in facts)
+
+    def test_progressive_bound_is_sound_under_jitter(self):
+        # With heavy jitter the actual duration differs wildly from the
+        # estimate; the promise must still undercut the real output vt.
+        hub, runtime = self._start_busy(
+            prescient=False, iterations=10,
+            jitter=NormalTickJitter(1.0, 0.5, correlated=True))
+        out_vt = us(100) + us(600)  # vt is jitter-independent
+        end = runtime.busy_info.actual_current
+        facts = []
+        for frac in (0.3, 0.6, 0.99):
+            hub.sim.at(us(100) // 100 + int(end * frac),
+                       lambda: facts.append(runtime.silence_fact(1)))
+        hub.sim.run(until=max(1, end - 1))
+        assert all(f < out_vt for f in facts)
+
+    def test_emit_below_promise_is_a_loud_error(self):
+        from repro.errors import SilenceViolationError
+
+        hub, runtime = make_worker()
+        sender = runtime.out_senders[1]
+        sender.promise_silence(us(10_000))
+        hub.inject(10, 0, us(100), 1)  # output vt would be 160us
+        with pytest.raises(SilenceViolationError):
+            hub.run()
+
+
+class TestCallSuspensionFacts:
+    def test_awaiting_reply_uses_next_segment_minimum(self):
+        from repro.core.ports import WireSpec
+        from repro.core.estimators import CommDelayEstimator
+
+        class Caller(Component):
+            def setup(self):
+                self.svc = self.service_port("svc")
+                self.out = self.output_port("out")
+
+            @on_message("input", cost=SegmentedCost(
+                [fixed_cost(us(15)), fixed_cost(us(10))]))
+            def handle(self, payload):
+                reply = yield self.svc.call(payload)
+                self.out.send(reply)
+
+        hub = Hub()
+        caller = hub.add(Caller("c"))
+        hub.connect(wire(10, "ext_in", dst="c"), None, "c", external=True)
+        hub.connect(wire(1, "data", src="c", src_port="out"), "c", None,
+                    port_name="out")
+        call_spec = WireSpec(2, "call", "c", "svc", "nowhere", "svc",
+                             CommDelayEstimator(0))
+        reply_spec = WireSpec(3, "reply", "nowhere", None, "c", None,
+                              CommDelayEstimator(0))
+        hub.wire_ends[2] = ("c", None)
+        caller.add_out_wire(call_spec)
+        caller.component.svc.attach(call_spec)
+        caller.add_reply_wire(reply_spec)
+        caller.component.svc.attach_reply(reply_spec)
+
+        hub.inject(10, 0, us(100), "payload")
+        hub.sim.run(until=us(16))
+        assert caller.mid_call and caller.busy_info.awaiting_reply
+        # Suspended at partial vt 115us; next segment minimum is 10us.
+        assert caller.silence_fact(1) == us(115) + us(10) - 1

@@ -1,0 +1,178 @@
+"""Unit tests for silence propagation policies."""
+
+import pytest
+
+from repro.core.component import Component, on_message
+from repro.core.cost import LinearCost, fixed_cost
+from repro.core.message import DataMessage, SilenceAdvance
+from repro.core.silence_policy import (
+    AggressiveSilencePolicy,
+    CuriositySilencePolicy,
+    HyperAggressiveSilencePolicy,
+    LazySilencePolicy,
+    NullSilencePolicy,
+    SilencePolicy,
+)
+from repro.errors import SchedulingError
+from repro.sim.kernel import us
+
+from tests.helpers import Hub, wire
+
+
+class Passer(Component):
+    def setup(self):
+        self.out = self.output_port("out")
+
+    @on_message("input", cost=LinearCost(
+        {"loop": us(60)}, features=lambda p: {"loop": p}))
+    def handle(self, payload):
+        self.out.send(payload)
+
+
+class Merge(Component):
+    def setup(self):
+        self.seen = self.state.value("seen", [])
+
+    @on_message("input", cost=fixed_cost(us(100)))
+    def handle(self, payload):
+        self.seen.set(self.seen.get() + [payload])
+
+
+def fanin_hub(policy_factory, merger_policy_factory=None,
+              control_delay=us(10)):
+    hub = Hub(control_delay=control_delay)
+    for i in (1, 2):
+        hub.add(Passer(f"p{i}"), policy=policy_factory())
+    merger_policy = (merger_policy_factory or policy_factory)()
+    hub.add(Merge("m"), policy=merger_policy)
+    for i in (1, 2):
+        hub.connect(wire(100 + i, "ext_in", dst=f"p{i}"), None, f"p{i}",
+                    external=True)
+        hub.connect(wire(i, "data", src=f"p{i}", src_port="out", dst="m"),
+                    f"p{i}", "m", port_name="out")
+    return hub
+
+
+class TestPolicyBinding:
+    def test_policy_binds_once(self):
+        policy = CuriositySilencePolicy()
+        hub = Hub()
+        hub.add(Passer("p1"), policy=policy)
+        with pytest.raises(SchedulingError):
+            hub.add(Passer("p2"), policy=policy)
+
+
+class TestLazy:
+    def test_no_probes_ever_sent(self):
+        hub = fanin_hub(LazySilencePolicy)
+        hub.inject(101, 0, 1_000, 2)
+        hub.run(until=us(5_000))
+        assert hub.metrics.counter("curiosity_probes") == 0
+
+    def test_data_ticks_unblock_implicitly(self):
+        hub = fanin_hub(LazySilencePolicy)
+        hub.inject(101, 0, 1_000, 2)   # held: wire 2 unaccounted
+        hub.run(until=us(500))
+        assert hub.runtimes["m"].component.seen.get() == []
+        # Wire 2 data (vt ~720us) implicitly accounts wire 2 through that
+        # vt, releasing the wire-1 message — but the wire-2 message is now
+        # itself held behind wire 1's stale horizon: lazy's signature cost.
+        hub.inject(102, 0, us(600), 2)
+        hub.run()
+        assert hub.runtimes["m"].component.seen.get() == [2]
+        # A further wire-1 data tick releases it.
+        hub.inject(101, 1, us(800), 1)
+        hub.run()
+        assert len(hub.runtimes["m"].component.seen.get()) >= 2
+
+    def test_lazy_sender_still_answers_probes(self):
+        # A curiosity merger downstream of lazy senders must not stall.
+        hub = fanin_hub(LazySilencePolicy,
+                        merger_policy_factory=CuriositySilencePolicy)
+        hub.inject(101, 0, 1_000, 2)
+        hub.run()
+        assert hub.runtimes["m"].component.seen.get() == [2]
+        assert hub.metrics.counter("curiosity_probes") >= 1
+
+
+class TestCuriosity:
+    def test_probes_sent_during_pessimism_delay(self):
+        hub = fanin_hub(CuriositySilencePolicy)
+        hub.inject(101, 0, 1_000, 2)
+        hub.run()
+        assert hub.metrics.counter("curiosity_probes") >= 1
+        assert hub.runtimes["m"].component.seen.get() == [2]
+
+    def test_probe_answers_advance_horizon(self):
+        hub = fanin_hub(CuriositySilencePolicy)
+        hub.inject(101, 0, 1_000, 2)
+        hub.run()
+        merger = hub.runtimes["m"]
+        assert merger.silence.horizon(2) > 0
+
+    def test_idle_probe_answer_uses_real_time(self):
+        # An idle sender's promise grows with real time, so a held
+        # message eventually clears even if the blocking sender never
+        # sends data (the liveness property lazy lacks).
+        hub = fanin_hub(CuriositySilencePolicy)
+        hub.inject(101, 0, us(500), 10)  # vt ~ 500us + 600us work
+        hub.run()
+        assert hub.runtimes["m"].component.seen.get() == [10]
+
+
+class TestAggressive:
+    def test_heartbeats_send_unsolicited_silence(self):
+        hub = fanin_hub(lambda: AggressiveSilencePolicy(interval=us(100)))
+        hub.run(until=us(2_000))
+        assert hub.metrics.counter("silence_advances_sent") > 10
+        merger = hub.runtimes["m"]
+        assert merger.silence.horizon(1) > 0
+        assert merger.silence.horizon(2) > 0
+
+    def test_stop_halts_heartbeats(self):
+        hub = fanin_hub(lambda: AggressiveSilencePolicy(interval=us(100)))
+        hub.run(until=us(500))
+        for runtime in hub.runtimes.values():
+            runtime.policy.stop()
+        before = hub.metrics.counter("silence_advances_sent")
+        hub.run(until=us(2_000))
+        assert hub.metrics.counter("silence_advances_sent") == before
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(SchedulingError):
+            AggressiveSilencePolicy(interval=0)
+
+
+class TestHyperAggressive:
+    def test_bias_promise_follows_each_emit(self):
+        hub = fanin_hub(lambda: HyperAggressiveSilencePolicy(
+            bias=us(500), interval=us(10_000)))
+        hub.inject(101, 0, 1_000, 1)
+        hub.run(until=us(300))
+        p1 = hub.runtimes["p1"]
+        sender = p1.out_senders[1]
+        # Data tick at 1000 + 60us; binding promise extends 500us beyond.
+        assert sender.floor_vt == 61_000 + us(500)
+        merger = hub.runtimes["m"]
+        assert merger.silence.horizon(1) >= sender.floor_vt
+
+    def test_next_output_pushed_past_bias(self):
+        hub = fanin_hub(lambda: HyperAggressiveSilencePolicy(
+            bias=us(500), interval=us(10_000)))
+        hub.inject(101, 0, 1_000, 1)
+        hub.run(until=us(200))
+        hub.inject(101, 1, us(150), 1)
+        hub.run(until=us(2_000))
+        # Second output forced past the first emission's binding promise.
+        p1_sender = hub.runtimes["p1"].out_senders[1]
+        assert p1_sender.last_data_vt > 61_000 + us(500)
+
+    def test_rejects_negative_bias(self):
+        with pytest.raises(SchedulingError):
+            HyperAggressiveSilencePolicy(bias=-1)
+
+
+class TestNull:
+    def test_ignores_probes(self):
+        policy = NullSilencePolicy()
+        policy.on_probe(None, 1, 10)  # must not touch the runtime

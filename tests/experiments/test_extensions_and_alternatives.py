@@ -1,0 +1,75 @@
+"""Shape tests for the extension ablations and the §IV comparison."""
+
+import pytest
+
+from repro.experiments.alternatives import MulticastProducer, run_alternatives
+from repro.experiments.extensions import (
+    run_comm_estimator_ablation,
+    run_preprobe_ablation,
+    run_priority_ablation,
+)
+from repro.sim.kernel import ms, seconds
+
+
+class TestPreprobe:
+    def test_preprobing_beats_reactive(self):
+        rows = run_preprobe_ablation(n_requests=600)
+        by_mode = {r["mode"]: r for r in rows}
+        assert (by_mode["curiosity (pre-probing)"]["overhead_pct"]
+                < by_mode["curiosity (reactive)"]["overhead_pct"])
+        assert by_mode["nondeterministic"]["overhead_pct"] == 0.0
+
+
+class TestPriorities:
+    def test_vt_lag_beats_static_under_contention(self):
+        rows = run_priority_ablation(duration=seconds(1))
+        by_variant = {r["variant"]: r for r in rows}
+        assert (by_variant["det / vt-lag priorities"]["mean_latency_us"]
+                < by_variant["det / static priorities"]["mean_latency_us"])
+        assert all(r["cpu_queue_ms"] > 0 for r in rows)  # contention real
+
+
+class TestCommEstimator:
+    def test_both_variants_complete_equally(self):
+        rows = run_comm_estimator_ablation(duration=seconds(1))
+        assert rows[0]["messages"] == rows[1]["messages"] > 500
+        ratio = rows[1]["mean_latency_us"] / rows[0]["mean_latency_us"]
+        assert 0.8 < ratio < 1.2
+
+
+class TestAlternatives:
+    def test_section_iv_conjectures(self):
+        rows = run_alternatives(duration=seconds(1))
+        by = {r["approach"].split(" (")[0]: r for r in rows}
+        assert by["TART"]["mean_latency_us"] \
+            < by["transactional"]["mean_latency_us"]
+        assert by["TART"]["compute_us_per_msg"] \
+            < by["active replication"]["compute_us_per_msg"]
+        assert by["TART"]["checkpoint_kb"] > 0
+        assert by["active replication"]["checkpoint_kb"] == 0
+        assert by["TART"]["output_gap_ms"] > by["active replication"][
+            "output_gap_ms"]
+
+    def test_multicast_producer_feeds_all_copies(self):
+        from repro.runtime.transport import Network
+        from repro.sim.kernel import Simulator
+        from repro.sim.rng import RngRegistry
+
+        class FakeIngress:
+            def __init__(self):
+                self.offers = []
+
+            def offer(self, payload):
+                self.offers.append(payload)
+
+        sim = Simulator()
+        a, b = FakeIngress(), FakeIngress()
+        producer = MulticastProducer(
+            sim, RngRegistry(0).stream("m"), [a, b],
+            lambda rng, i, now: {"i": i}, mean_interarrival=ms(1),
+            stop_at=ms(20),
+        )
+        producer.start()
+        sim.run(until=ms(40))
+        assert a.offers == b.offers
+        assert len(a.offers) == producer.produced > 5

@@ -1,0 +1,70 @@
+"""Unit tests for experiment helper functions (no simulations)."""
+
+import math
+
+import pytest
+
+from repro.experiments.common import Fig1Params, overhead_pct
+from repro.experiments.fig3_variability import compute_time_sd_us
+from repro.experiments.fig4_sensitivity import best_coefficient
+from repro.experiments.fig5_distributed import MODES, _policy_for
+from repro.experiments.throughput import _growth_ratio, saturation_point
+from repro.core.silence_policy import CuriositySilencePolicy, LazySilencePolicy
+
+
+class TestThroughputHelpers:
+    def test_growth_ratio_short_series_is_neutral(self):
+        assert _growth_ratio([1_000] * 10) == 1.0
+
+    def test_growth_ratio_detects_growth(self):
+        series = list(range(1_000, 10_000, 100))
+        assert _growth_ratio(series) > 2.0
+
+    def test_growth_ratio_stationary(self):
+        series = [1_000, 1_100, 900] * 30
+        assert 0.8 < _growth_ratio(series) < 1.2
+
+    def test_saturation_point(self):
+        rows = [
+            {"mode": "deterministic", "rate_per_sender": 1000, "stable": True},
+            {"mode": "deterministic", "rate_per_sender": 1200, "stable": True},
+            {"mode": "deterministic", "rate_per_sender": 1300, "stable": False},
+        ]
+        assert saturation_point(rows, "deterministic") == 1200
+        assert saturation_point(rows, "nondeterministic") is None
+
+
+class TestFig3Helpers:
+    def test_sd_formula(self):
+        # U(10-k, 10+k) iterations: sd = 60us * sqrt(k(k+1)/3).
+        assert compute_time_sd_us(0) == 0.0
+        assert compute_time_sd_us(9) == pytest.approx(
+            60.0 * math.sqrt(30), rel=1e-9)
+
+    def test_fig1_params_mode_mapping(self):
+        assert Fig1Params(mode="prescient").effective_mode() == "deterministic"
+        assert Fig1Params(mode="nondeterministic").effective_mode() == \
+            "nondeterministic"
+
+
+class TestFig4Helpers:
+    def test_best_coefficient(self):
+        rows = [{"coefficient_us": c, "det_latency_us": abs(c - 60) + 100}
+                for c in (48, 60, 70)]
+        assert best_coefficient(rows) == 60
+
+
+class TestFig5Helpers:
+    def test_policy_mapping(self):
+        assert _policy_for("deterministic-lazy") is LazySilencePolicy
+        assert _policy_for("deterministic-curiosity") is CuriositySilencePolicy
+        assert _policy_for("nondeterministic") is CuriositySilencePolicy
+        assert len(MODES) == 3
+
+
+class TestOverhead:
+    def test_zero_baseline_is_nan(self):
+        assert math.isnan(overhead_pct(0.0, 100.0))
+
+    def test_negative_overhead_allowed(self):
+        assert overhead_pct(100.0, 80.0) == pytest.approx(-20.0)

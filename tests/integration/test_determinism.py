@@ -1,0 +1,139 @@
+"""Integration tests for the determinism claims themselves.
+
+TART's recovery story rests on: same inputs (with the same virtual
+times) => same computation, same state, same outputs, including the
+virtual times of everything generated.  These tests pin that down at
+increasing strength: repeat-run equality, checkpoint byte-equality,
+robustness of *virtual-time* outcomes to *real-time* perturbations
+(jitter), and invariance under silence-propagation policy changes
+(paper II.G.3: lazy/curiosity/aggressive "can be arbitrarily mixed ...
+without requiring a determinism fault").
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.apps.wordcount import birth_of, build_wordcount_app, sentence_factory
+from repro.core.silence_policy import (
+    AggressiveSilencePolicy,
+    CuriositySilencePolicy,
+    LazySilencePolicy,
+)
+from repro.runtime import checkpoint as cpser
+from repro.runtime.app import Deployment
+from repro.runtime.engine import EngineConfig
+from repro.runtime.placement import single_engine_placement
+from repro.sim.jitter import NoJitter, NormalTickJitter
+from repro.sim.kernel import ms, seconds, us
+
+
+def run_wordcount(seed=0, jitter=None, policy_factory=CuriositySilencePolicy,
+                  duration=seconds(1), mode="deterministic",
+                  checkpoint_at=None):
+    app = build_wordcount_app(2)
+    config = EngineConfig(
+        mode=mode,
+        jitter=jitter if jitter is not None else NormalTickJitter(),
+        policy_factory=policy_factory,
+    )
+    dep = Deployment(app, single_engine_placement(app.component_names()),
+                     engine_config=config, control_delay=us(10),
+                     birth_of=birth_of, master_seed=seed)
+    factory = sentence_factory()
+    for i in (1, 2):
+        dep.add_poisson_producer(f"ext{i}", factory, mean_interarrival=ms(1))
+    if checkpoint_at is not None:
+        dep.start()
+        dep.run(until=checkpoint_at)
+        blob = cpser.dumps({
+            name: rt.snapshot(incremental=False)
+            for name, rt in dep.engine("engine0").runtimes.items()
+        })
+        return dep, blob
+    dep.run(until=duration)
+    return dep
+
+
+def output_stream(dep):
+    """(seq, vt, app fields) of every effective output."""
+    return [
+        (seq, vt, payload["total"], payload["count"], payload["events"])
+        for seq, vt, payload, _t in dep.consumer("sink").effective_outputs
+    ]
+
+
+class TestRepeatRunEquality:
+    def test_identical_runs_produce_identical_streams(self):
+        a = run_wordcount(seed=3)
+        b = run_wordcount(seed=3)
+        assert output_stream(a) == output_stream(b)
+
+    def test_different_seeds_differ(self):
+        a = run_wordcount(seed=3)
+        b = run_wordcount(seed=4)
+        assert output_stream(a) != output_stream(b)
+
+    def test_checkpoints_are_byte_identical(self):
+        _, blob_a = run_wordcount(seed=5, checkpoint_at=ms(300))
+        _, blob_b = run_wordcount(seed=5, checkpoint_at=ms(300))
+        assert blob_a == blob_b
+
+
+class TestJitterInvariance:
+    """Virtual-time outcomes must not depend on real-time jitter.
+
+    The jitter model perturbs *when* things execute; determinism says
+    the *virtual* schedule — message order, vts, state — is untouched.
+    Real delivery times of course change.
+    """
+
+    def test_vt_stream_invariant_under_jitter_change(self):
+        calm = run_wordcount(seed=7, jitter=NoJitter())
+        noisy = run_wordcount(seed=7, jitter=NormalTickJitter(1.0, 0.5))
+        assert output_stream(calm) == output_stream(noisy)
+
+    def test_nondeterministic_mode_is_actually_sensitive(self):
+        # The baseline has no such guarantee: enough jitter flips arrival
+        # orders and the merged state sequence differs.  This guards
+        # against the deterministic test above passing vacuously.
+        calm = run_wordcount(seed=7, jitter=NoJitter(),
+                             mode="nondeterministic")
+        noisy = run_wordcount(seed=7, jitter=NormalTickJitter(1.0, 3.0),
+                              mode="nondeterministic")
+        assert output_stream(calm) != output_stream(noisy)
+
+
+class TestPolicyInvariance:
+    """II.G.3: how silence travels never changes what is computed."""
+
+    @pytest.mark.parametrize("policy_factory", [
+        LazySilencePolicy,
+        CuriositySilencePolicy,
+        lambda: AggressiveSilencePolicy(interval=us(200)),
+    ])
+    def test_policies_yield_identical_vt_streams(self, policy_factory):
+        reference = run_wordcount(seed=9,
+                                  policy_factory=CuriositySilencePolicy)
+        other = run_wordcount(seed=9, policy_factory=policy_factory)
+        ref_stream = output_stream(reference)
+        other_stream = output_stream(other)
+        # Lazy may trail at the very end of the run (its last messages
+        # can still be held when the clock stops): prefix equality.
+        shorter = min(len(ref_stream), len(other_stream))
+        assert shorter > 0
+        assert ref_stream[:shorter] == other_stream[:shorter]
+
+
+class TestDeterministicVsBaseline:
+    def test_same_multiset_of_results_either_mode(self):
+        # Both modes process the same messages; the deterministic mode
+        # fixes the order.  Totals over the whole run agree.
+        det = run_wordcount(seed=11)
+        nondet = run_wordcount(seed=11, mode="nondeterministic")
+        det_counts = sorted(c for _s, _v, _t, c, _e in output_stream(det))
+        nondet_counts = sorted(c for _s, _v, _t, c, _e in output_stream(nondet))
+        # Allow the tail to differ by a few in-flight messages at cutoff.
+        assert abs(len(det_counts) - len(nondet_counts)) <= 4
+        n = min(len(det_counts), len(nondet_counts))
+        assert det_counts[:n] == nondet_counts[:n]

@@ -1,0 +1,151 @@
+"""Edge cases of the recovery protocol.
+
+Beyond the single-failure happy path: simultaneous failures of both
+engines, failover racing an in-flight checkpoint, crashes mid two-way
+call, and back-to-back failovers of the same engine.
+"""
+
+import pytest
+
+from repro.apps.callgraph import build_callgraph_app, request_factory
+from repro.apps.wordcount import birth_of, build_wordcount_app, sentence_factory
+from repro.runtime.app import Deployment
+from repro.runtime.engine import EngineConfig
+from repro.runtime.failure import FailureInjector
+from repro.runtime.placement import Placement
+from repro.runtime.transport import LinkParams
+from repro.sim.distributions import Constant
+from repro.sim.jitter import NormalTickJitter
+from repro.sim.kernel import ms, seconds, us
+
+
+def wordcount_deployment(seed=0, checkpoint_interval=ms(40)):
+    app = build_wordcount_app(2)
+    dep = Deployment(
+        app, Placement({"sender1": "E1", "sender2": "E1", "merger": "E2"}),
+        engine_config=EngineConfig(jitter=NormalTickJitter(),
+                                   checkpoint_interval=checkpoint_interval),
+        default_link=LinkParams(delay=Constant(us(100))),
+        control_delay=us(10), birth_of=birth_of, master_seed=seed,
+    )
+    factory = sentence_factory()
+    for i in (1, 2):
+        dep.add_poisson_producer(f"ext{i}", factory, mean_interarrival=ms(1))
+    return dep
+
+
+def effective(dep):
+    return [
+        (seq, payload["total"], payload["count"])
+        for seq, _vt, payload, _t in dep.consumer("sink").effective_outputs
+    ]
+
+
+class TestSimultaneousFailures:
+    def test_both_engines_fail_at_once(self):
+        """The paper assumes single failures; with per-engine replicas
+        and stable logs, even a simultaneous double fail-stop recovers
+        (each replica restores independently; external logs bridge)."""
+        faulty = wordcount_deployment()
+        injector = FailureInjector(faulty)
+        injector.kill_engine("E1", at=ms(500), detection_delay=ms(2))
+        injector.kill_engine("E2", at=ms(500), detection_delay=ms(3))
+        faulty.run(until=seconds(2))
+        clean = wordcount_deployment()
+        clean.run(until=seconds(2))
+        assert effective(faulty) == effective(clean)
+        assert faulty.recovery.failover_count() == 2
+
+
+class TestRepeatedFailures:
+    def test_same_engine_fails_twice(self):
+        faulty = wordcount_deployment()
+        injector = FailureInjector(faulty)
+        injector.kill_engine("E2", at=ms(400), detection_delay=ms(2))
+        injector.kill_engine("E2", at=ms(1_000), detection_delay=ms(2))
+        faulty.run(until=seconds(2))
+        clean = wordcount_deployment()
+        clean.run(until=seconds(2))
+        assert effective(faulty) == effective(clean)
+        assert faulty.recovery.failover_count("E2") == 2
+
+    def test_three_failures_alternating_engines(self):
+        faulty = wordcount_deployment()
+        injector = FailureInjector(faulty)
+        injector.kill_engine("E1", at=ms(300), detection_delay=ms(2))
+        injector.kill_engine("E2", at=ms(800), detection_delay=ms(2))
+        injector.kill_engine("E1", at=ms(1_300), detection_delay=ms(2))
+        faulty.run(until=seconds(2))
+        clean = wordcount_deployment()
+        clean.run(until=seconds(2))
+        assert effective(faulty) == effective(clean)
+
+
+class TestCheckpointRaces:
+    def test_crash_exactly_at_checkpoint_time(self):
+        # The checkpoint fires every 40ms; kill at a multiple so the
+        # crash lands in the same tick as a capture attempt.
+        faulty = wordcount_deployment(checkpoint_interval=ms(40))
+        FailureInjector(faulty).kill_engine("E2", at=ms(400),
+                                            detection_delay=ms(2))
+        faulty.run(until=seconds(2))
+        clean = wordcount_deployment(checkpoint_interval=ms(40))
+        clean.run(until=seconds(2))
+        assert effective(faulty) == effective(clean)
+
+    def test_very_frequent_checkpoints(self):
+        faulty = wordcount_deployment(checkpoint_interval=ms(5))
+        FailureInjector(faulty).kill_engine("E2", at=ms(499),
+                                            detection_delay=ms(2))
+        faulty.run(until=seconds(2))
+        clean = wordcount_deployment(checkpoint_interval=ms(5))
+        clean.run(until=seconds(2))
+        assert effective(faulty) == effective(clean)
+        # Frequent checkpoints keep the replay window tiny.
+        assert faulty.metrics.counter("messages_replayed") < 40
+
+
+class TestCallMidFlightCrash:
+    def _deployment(self, seed=0):
+        app = build_callgraph_app()
+        dep = Deployment(
+            app, Placement({"frontend": "E1", "directory": "E2"}),
+            engine_config=EngineConfig(jitter=NormalTickJitter(),
+                                       checkpoint_interval=ms(30)),
+            default_link=LinkParams(delay=Constant(us(200))),
+            control_delay=us(5), birth_of=birth_of, master_seed=seed,
+        )
+        dep.add_poisson_producer("requests", request_factory(),
+                                 mean_interarrival=ms(1))
+        return dep
+
+    @pytest.mark.parametrize("kill_at_us", [300_400, 300_500, 300_700])
+    def test_directory_dies_with_calls_in_flight(self, kill_at_us):
+        # With a 200us link and 1 req/ms, some call or reply is almost
+        # certainly in flight at any instant; sweep the kill time across
+        # sub-RTT offsets to hit different protocol phases.
+        faulty = self._deployment()
+        FailureInjector(faulty).kill_engine("E2", at=kill_at_us * 1_000,
+                                            detection_delay=ms(2))
+        faulty.run(until=seconds(1))
+        clean = self._deployment()
+        clean.run(until=seconds(1))
+        want = [(s, p["key"], p["hits"]) for s, _v, p, _t in
+                clean.consumer("sink").effective_outputs]
+        got = [(s, p["key"], p["hits"]) for s, _v, p, _t in
+               faulty.consumer("sink").effective_outputs]
+        assert got == want
+
+    @pytest.mark.parametrize("kill_at_us", [300_400, 300_600])
+    def test_frontend_dies_with_replies_in_flight(self, kill_at_us):
+        faulty = self._deployment()
+        FailureInjector(faulty).kill_engine("E1", at=kill_at_us * 1_000,
+                                            detection_delay=ms(2))
+        faulty.run(until=seconds(1))
+        clean = self._deployment()
+        clean.run(until=seconds(1))
+        want = [(s, p["key"], p["hits"]) for s, _v, p, _t in
+                clean.consumer("sink").effective_outputs]
+        got = [(s, p["key"], p["hits"]) for s, _v, p, _t in
+               faulty.consumer("sink").effective_outputs]
+        assert got == want

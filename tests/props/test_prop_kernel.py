@@ -1,0 +1,55 @@
+"""Property tests: simulation-kernel ordering invariants."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.kernel import Simulator
+
+schedules = st.lists(st.integers(0, 1000), min_size=1, max_size=50)
+
+
+@given(schedules)
+def test_execution_order_is_stable_sort_by_time(times):
+    sim = Simulator()
+    fired = []
+    for tag, t in enumerate(times):
+        sim.at(t, lambda tag=tag: fired.append(tag))
+    sim.run()
+    expected = [tag for tag, _t in
+                sorted(enumerate(times), key=lambda p: (p[1], p[0]))]
+    assert fired == expected
+
+
+@given(schedules)
+def test_clock_never_goes_backwards(times):
+    sim = Simulator()
+    observed = []
+    for t in times:
+        sim.at(t, lambda: observed.append(sim.now))
+    sim.run()
+    assert observed == sorted(observed)
+
+
+@given(schedules, st.integers(0, 1100))
+def test_run_until_partitions_execution(times, boundary):
+    sim = Simulator()
+    fired = []
+    for t in times:
+        sim.at(t, lambda t=t: fired.append(t))
+    sim.run(until=boundary)
+    assert all(t < boundary for t in fired)
+    sim.run()
+    assert sorted(fired) == sorted(times)
+
+
+@given(schedules, st.data())
+def test_cancelled_events_never_fire(times, data):
+    sim = Simulator()
+    fired = []
+    events = [sim.at(t, lambda t=t: fired.append(t)) for t in times]
+    to_cancel = data.draw(st.sets(st.integers(0, len(times) - 1)))
+    for idx in to_cancel:
+        events[idx].cancel()
+    sim.run()
+    surviving = [t for i, t in enumerate(times) if i not in to_cancel]
+    assert sorted(fired) == sorted(surviving)

@@ -1,0 +1,82 @@
+"""Property tests: checkpoint serializer is a lossless canonical codec."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.runtime.checkpoint import dumps, loads
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+)
+
+dict_keys = st.one_of(
+    st.text(max_size=8),
+    st.integers(-1000, 1000),
+    st.tuples(st.integers(0, 9), st.text(max_size=4)),
+)
+
+trees = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.lists(children, max_size=4).map(tuple),
+        st.dictionaries(dict_keys, children, max_size=4),
+    ),
+    max_leaves=25,
+)
+
+
+@given(trees)
+def test_roundtrip_identity(value):
+    assert loads(dumps(value)) == value
+
+
+@given(trees)
+def test_roundtrip_preserves_types(value):
+    restored = loads(dumps(value))
+
+    def same_shape(a, b):
+        if isinstance(a, tuple):
+            return isinstance(b, tuple) and all(
+                same_shape(x, y) for x, y in zip(a, b))
+        if isinstance(a, list):
+            return isinstance(b, list) and all(
+                same_shape(x, y) for x, y in zip(a, b))
+        if isinstance(a, dict):
+            return isinstance(b, dict) and all(
+                same_shape(a[k], b[k]) for k in a)
+        if isinstance(a, bool):
+            return isinstance(b, bool)
+        return type(a) is type(b) or a == b
+
+    assert same_shape(value, restored)
+
+
+@given(st.dictionaries(st.text(max_size=6), scalars, max_size=6))
+def test_canonical_bytes_independent_of_insertion_order(mapping):
+    items = list(mapping.items())
+    forward = dict(items)
+    backward = dict(reversed(items))
+    assert dumps(forward) == dumps(backward)
+
+
+@given(trees, trees)
+def test_equal_bytes_imply_equal_values(a, b):
+    # Injectivity: the canonical encoding never conflates two values.
+    # (The converse does not hold: Python says False == 0.0, but the
+    # encoding is deliberately type-preserving and distinguishes them.)
+    if dumps(a) == dumps(b):
+        assert a == b
+        assert loads(dumps(a)) == loads(dumps(b))
+
+
+@given(trees)
+def test_same_value_same_bytes(a):
+    import copy
+
+    assert dumps(a) == dumps(copy.deepcopy(a))

@@ -1,0 +1,64 @@
+"""Property tests: silence-map invariants."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.vt.silence import SilenceMap
+
+wire_sets = st.lists(st.integers(0, 20), min_size=1, max_size=8, unique=True)
+advance_ops = st.lists(
+    st.tuples(st.integers(0, 7), st.integers(0, 1000)), max_size=60
+)
+
+
+@given(wire_sets, advance_ops)
+def test_horizons_monotone_and_min_correct(wires, ops):
+    smap = SilenceMap(wires)
+    shadow = {w: -1 for w in wires}
+    for idx, through in ops:
+        wire = wires[idx % len(wires)]
+        smap.advance(wire, through)
+        shadow[wire] = max(shadow[wire], through)
+        assert smap.horizon(wire) == shadow[wire]
+    assert smap.min_horizon() == min(shadow.values())
+
+
+@given(wire_sets, advance_ops, st.integers(0, 1000))
+def test_silent_through_agrees_with_definition(wires, ops, query):
+    smap = SilenceMap(wires)
+    shadow = {w: -1 for w in wires}
+    for idx, through in ops:
+        wire = wires[idx % len(wires)]
+        smap.advance(wire, through)
+        shadow[wire] = max(shadow[wire], through)
+    for excluding in [None] + wires:
+        expected = all(
+            h >= query for w, h in shadow.items() if w != excluding
+        )
+        assert smap.silent_through(query, excluding=excluding) == expected
+        blocking = smap.blocking_wires(query, excluding=excluding)
+        assert blocking == sorted(
+            w for w, h in shadow.items() if w != excluding and h < query
+        )
+
+
+@given(wire_sets, advance_ops)
+def test_snapshot_restore_is_lossless(wires, ops):
+    smap = SilenceMap(wires)
+    for idx, through in ops:
+        smap.advance(wires[idx % len(wires)], through)
+    restored = SilenceMap.restore(smap.snapshot())
+    for wire in wires:
+        assert restored.horizon(wire) == smap.horizon(wire)
+
+
+@given(wire_sets, advance_ops, st.integers(0, 1000))
+def test_advancing_never_unblocks_retroactively(wires, ops, query):
+    """Once silent_through(t) holds, it holds forever (stability)."""
+    smap = SilenceMap(wires)
+    was_silent = smap.silent_through(query)
+    for idx, through in ops:
+        smap.advance(wires[idx % len(wires)], through)
+        now_silent = smap.silent_through(query)
+        assert not (was_silent and not now_silent)
+        was_silent = now_silent

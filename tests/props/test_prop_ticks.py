@@ -1,0 +1,74 @@
+"""Property tests: tick-stream sender/receiver invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.message import DataMessage
+from repro.vt.ticks import TickStreamReceiver, TickStreamSender
+
+# Strictly increasing vt sequences.
+vt_streams = st.lists(st.integers(1, 50), min_size=1, max_size=40).map(
+    lambda gaps: [sum(gaps[: i + 1]) for i in range(len(gaps))]
+)
+
+
+@given(vt_streams)
+def test_sender_emits_are_always_receivable_in_order(vts):
+    sender = TickStreamSender(1)
+    recv = TickStreamReceiver(1)
+    for i, vt in enumerate(vts):
+        msg = DataMessage(1, i, vt, None)
+        sender.emit_message(msg)
+        assert recv.accept(msg.seq, msg.vt) == "deliver"
+    assert recv.next_seq == len(vts)
+    assert recv.horizon == vts[-1]
+
+
+@given(vt_streams, st.data())
+def test_receiver_classifies_replayed_suffix_as_duplicates(vts, data):
+    sender = TickStreamSender(1)
+    recv = TickStreamReceiver(1)
+    for i, vt in enumerate(vts):
+        msg = DataMessage(1, i, vt, None)
+        sender.emit_message(msg)
+        recv.accept(msg.seq, msg.vt)
+    replay_from = data.draw(st.integers(0, len(vts) - 1))
+    for msg in sender.replay_from(replay_from):
+        assert recv.accept(msg.seq, msg.vt) == "duplicate"
+    assert recv.next_seq == len(vts)
+
+
+@given(vt_streams, st.integers(0, 45))
+def test_trim_then_replay_covers_exactly_the_untrimmed_suffix(vts, trim_to):
+    sender = TickStreamSender(1)
+    for i, vt in enumerate(vts):
+        sender.emit_message(DataMessage(1, i, vt, None))
+    sender.trim_through(trim_to)
+    replayed = sender.replay_from(0)
+    expected = [i for i in range(len(vts)) if i > trim_to]
+    assert [m.seq for m in replayed] == expected
+
+
+@given(vt_streams)
+def test_sender_snapshot_roundtrip_preserves_behaviour(vts):
+    sender = TickStreamSender(1)
+    half = len(vts) // 2
+    for i in range(half):
+        sender.emit_message(DataMessage(1, i, vts[i], None))
+    restored = TickStreamSender.restore(sender.snapshot())
+    # The restored sender accepts exactly the continuation the original
+    # would have.
+    for i in range(half, len(vts)):
+        restored.emit_message(DataMessage(1, i, vts[i], None))
+    assert restored.next_seq == len(vts)
+
+
+@given(st.lists(st.integers(0, 100), min_size=1, max_size=40))
+def test_receiver_horizon_is_monotone_under_any_advance_sequence(advances):
+    recv = TickStreamReceiver(1)
+    horizons = [recv.horizon]
+    for through in advances:
+        recv.advance_silence(through)
+        horizons.append(recv.horizon)
+    assert horizons == sorted(horizons)
+    assert recv.horizon == max([-1] + advances)

@@ -1,0 +1,71 @@
+"""Unit tests for canonical checkpoint serialization."""
+
+import pytest
+
+from repro.errors import StateError
+from repro.runtime.checkpoint import checkpoint_size, dumps, loads
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, -5, 2**62, 3.25, "text", b"\x00\xffbytes",
+        [1, 2, 3], (1, 2), {"a": 1}, {}, [], (),
+    ])
+    def test_scalar_and_container_roundtrip(self, value):
+        assert loads(dumps(value)) == value
+
+    def test_tuple_preserved_as_tuple(self):
+        assert isinstance(loads(dumps((1, 2))), tuple)
+        assert isinstance(loads(dumps([1, 2])), list)
+
+    def test_nested_structures(self):
+        value = {"cells": {"m": {"k": [1, (2, 3), b"x"]}},
+                 "pending": [(0, 100, "p")]}
+        assert loads(dumps(value)) == value
+
+    def test_int_keys_preserved(self):
+        value = {1: "a", 2: "b"}
+        restored = loads(dumps(value))
+        assert restored == value
+        assert all(isinstance(k, int) for k in restored)
+
+    def test_tuple_keys_preserved(self):
+        value = {(1, "x"): 5}
+        assert loads(dumps(value)) == value
+
+    def test_mixed_key_types(self):
+        value = {1: "int", "1": "str"}
+        assert loads(dumps(value)) == value
+
+
+class TestCanonical:
+    def test_dict_order_does_not_matter(self):
+        a = dumps({"x": 1, "y": 2})
+        b = dumps({"y": 2, "x": 1})
+        assert a == b
+
+    def test_identical_states_identical_bytes(self):
+        state = {"counts": {"w1": 3, "w2": 1}, "vt": 233_000}
+        assert dumps(state) == dumps(dict(state))
+
+    def test_different_states_differ(self):
+        assert dumps({"a": 1}) != dumps({"a": 2})
+
+
+class TestErrors:
+    def test_unserializable_value_rejected(self):
+        with pytest.raises(StateError):
+            dumps({"bad": object()})
+
+    def test_unserializable_key_rejected(self):
+        with pytest.raises(StateError):
+            dumps({object(): 1})
+
+    def test_set_rejected(self):
+        with pytest.raises(StateError):
+            dumps({1, 2, 3})
+
+
+def test_checkpoint_size():
+    blob = dumps({"a": 1})
+    assert checkpoint_size(blob) == len(blob) > 0

@@ -1,0 +1,141 @@
+"""Tests for heartbeat-based failure detection."""
+
+import pytest
+
+from repro.apps.wordcount import birth_of, build_wordcount_app, sentence_factory
+from repro.errors import RecoveryError
+from repro.runtime.app import Deployment
+from repro.runtime.detector import Heartbeat, HeartbeatDetector
+from repro.runtime.engine import EngineConfig
+from repro.runtime.failure import FailureInjector
+from repro.runtime.placement import Placement
+from repro.runtime.transport import LinkParams
+from repro.sim.distributions import Constant
+from repro.sim.jitter import NormalTickJitter
+from repro.sim.kernel import Simulator, ms, seconds, us
+
+
+def deployment_with_heartbeats(seed=0, interval=ms(5), miss_limit=3):
+    app = build_wordcount_app(2)
+    dep = Deployment(
+        app, Placement({"sender1": "E1", "sender2": "E1", "merger": "E2"}),
+        engine_config=EngineConfig(
+            jitter=NormalTickJitter(),
+            checkpoint_interval=ms(40),
+            heartbeat_interval=interval,
+            heartbeat_miss_limit=miss_limit,
+        ),
+        default_link=LinkParams(delay=Constant(us(80))),
+        control_delay=us(10), birth_of=birth_of, master_seed=seed,
+    )
+    factory = sentence_factory()
+    for i in (1, 2):
+        dep.add_poisson_producer(f"ext{i}", factory, mean_interarrival=ms(1))
+    return dep
+
+
+class TestDetectorUnit:
+    def _fixture(self):
+        sim = Simulator()
+
+        class RecoveryStub:
+            def __init__(self):
+                self.calls = []
+                self._busy = set()
+
+            def in_progress(self, engine_id):
+                return engine_id in self._busy
+
+            def engine_failed(self, engine_id, detection_delay=0):
+                self.calls.append((engine_id, sim.now))
+
+        recovery = RecoveryStub()
+        detector = HeartbeatDetector(sim, recovery, "E1",
+                                     interval=ms(5), miss_limit=3)
+        return sim, recovery, detector
+
+    def test_timeout_is_interval_times_misses(self):
+        _sim, _rec, detector = self._fixture()
+        assert detector.timeout == ms(15)
+
+    def test_fires_after_silence(self):
+        sim, recovery, detector = self._fixture()
+        detector.watch()
+        sim.run(until=ms(20))
+        assert recovery.calls == [("E1", ms(15))]
+        assert detector.detections == 1
+
+    def test_heartbeats_keep_it_quiet(self):
+        sim, recovery, detector = self._fixture()
+        detector.watch()
+        for k in range(10):
+            sim.at(k * ms(5), lambda k=k: detector.on_heartbeat(
+                Heartbeat("E1", k)))
+        sim.run(until=ms(50))
+        assert recovery.calls == []
+        sim.run(until=ms(80))  # beats stop: detection follows the timeout
+        assert recovery.calls[0] == ("E1", ms(45) + detector.timeout)
+
+    def test_foreign_heartbeats_ignored(self):
+        sim, recovery, detector = self._fixture()
+        detector.watch()
+        for k in range(10):
+            sim.at(k * ms(5), lambda k=k: detector.on_heartbeat(
+                Heartbeat("OTHER", k)))
+        sim.run(until=ms(20))
+        assert len(recovery.calls) == 1  # silence from E1 still detected
+
+    def test_in_progress_suppresses_refire(self):
+        sim, recovery, detector = self._fixture()
+        recovery._busy.add("E1")
+        detector.watch()
+        sim.run(until=ms(40))
+        assert recovery.calls == []
+
+    def test_stop(self):
+        sim, recovery, detector = self._fixture()
+        detector.watch()
+        detector.stop()
+        sim.run(until=ms(40))
+        assert recovery.calls == []
+
+    def test_bad_params_rejected(self):
+        sim, recovery, _ = self._fixture()
+        with pytest.raises(RecoveryError):
+            HeartbeatDetector(sim, recovery, "E1", ms(5), miss_limit=0)
+
+
+class TestOrganicFailover:
+    def test_crash_detected_and_recovered_without_injector_hint(self):
+        faulty = deployment_with_heartbeats()
+        FailureInjector(faulty).kill_engine("E2", at=ms(400))
+        faulty.run(until=seconds(2))
+        assert faulty.recovery.failover_count("E2") == 1
+        assert faulty.detectors["E2"].detections == 1
+        # Downtime ~= heartbeat timeout (15ms), not the injector's knob.
+        downtime = faulty.metrics.accumulator("failover_downtime_ticks")
+        assert downtime <= ms(16)
+
+        clean = deployment_with_heartbeats()
+        clean.run(until=seconds(2))
+        got = [(s, p["total"]) for s, _v, p, _t in
+               faulty.consumer("sink").effective_outputs]
+        want = [(s, p["total"]) for s, _v, p, _t in
+                clean.consumer("sink").effective_outputs]
+        assert got == want
+
+    def test_no_false_positives_during_normal_run(self):
+        dep = deployment_with_heartbeats()
+        dep.run(until=seconds(1))
+        assert dep.recovery.failover_count() == 0
+        assert all(d.detections == 0 for d in dep.detectors.values())
+
+    def test_promoted_engine_resumes_heartbeats(self):
+        faulty = deployment_with_heartbeats()
+        injector = FailureInjector(faulty)
+        injector.kill_engine("E2", at=ms(300))
+        injector.kill_engine("E2", at=ms(800))
+        faulty.run(until=seconds(2))
+        # Both crashes were caught organically.
+        assert faulty.detectors["E2"].detections == 2
+        assert faulty.recovery.failover_count("E2") == 2

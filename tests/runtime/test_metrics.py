@@ -1,0 +1,79 @@
+"""Unit tests for the metrics sink."""
+
+import math
+
+import pytest
+
+from repro.runtime.metrics import MetricSet
+
+
+class TestCounters:
+    def test_count_and_read(self):
+        m = MetricSet()
+        m.count("x")
+        m.count("x", 4)
+        assert m.counter("x") == 5
+        assert m.counter("absent") == 0
+
+    def test_accumulators(self):
+        m = MetricSet()
+        m.add("ticks", 100)
+        m.add("ticks", 50)
+        assert m.accumulator("ticks") == 150
+        assert m.accumulator("absent") == 0
+
+
+class TestLatency:
+    def test_record_and_mean(self):
+        m = MetricSet()
+        m.record_latency(0, 2_000)
+        m.record_latency(1_000, 5_000)
+        assert m.latency_count() == 2
+        assert m.mean_latency_us() == pytest.approx(3.0)
+        assert m.latencies == [2_000, 4_000]
+
+    def test_empty_latency_stats_are_nan(self):
+        m = MetricSet()
+        assert math.isnan(m.mean_latency_us())
+        assert math.isnan(m.latency_percentile_us(50))
+
+    def test_percentiles(self):
+        m = MetricSet()
+        for i in range(1, 101):
+            m.record_latency(0, i * 1_000)
+        assert m.latency_percentile_us(50) == pytest.approx(50, abs=2)
+        assert m.latency_percentile_us(95) == pytest.approx(95, abs=2)
+        assert m.latency_percentile_us(0) == pytest.approx(1)
+
+    def test_std(self):
+        m = MetricSet()
+        for v in (1_000, 3_000):
+            m.record_latency(0, v)
+        assert m.latency_std_us() == pytest.approx(2**0.5, rel=1e-6)
+        assert MetricSet().latency_std_us() == 0.0
+
+
+class TestDerived:
+    def test_probes_per_message(self):
+        m = MetricSet()
+        m.count("curiosity_probes", 30)
+        assert m.probes_per_message() == 0.0  # no messages yet
+        m.record_latency(0, 1)
+        m.record_latency(0, 1)
+        assert m.probes_per_message() == 15.0
+
+    def test_out_of_order_fraction(self):
+        m = MetricSet()
+        assert m.out_of_order_fraction() == 0.0
+        m.count("messages_processed", 10)
+        m.count("out_of_order_arrivals", 1)
+        assert m.out_of_order_fraction() == pytest.approx(0.1)
+
+    def test_summary_keys(self):
+        m = MetricSet()
+        m.record_latency(0, 1_000)
+        summary = m.summary()
+        for key in ("messages", "mean_latency_us", "p95_latency_us",
+                    "probes_per_message", "pessimism_delay_us"):
+            assert key in summary
+        assert summary["messages"] == 1.0

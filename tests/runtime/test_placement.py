@@ -1,0 +1,53 @@
+"""Unit tests for the placement service."""
+
+import pytest
+
+from repro.errors import WiringError
+from repro.runtime.placement import (
+    Placement,
+    round_robin_placement,
+    single_engine_placement,
+)
+
+
+class TestPlacement:
+    def test_engine_of(self):
+        p = Placement({"a": "E1", "b": "E2"})
+        assert p.engine_of("a") == "E1"
+        with pytest.raises(WiringError):
+            p.engine_of("zz")
+
+    def test_engines_and_components_on(self):
+        p = Placement({"a": "E1", "b": "E2", "c": "E1"})
+        assert p.engines() == ["E1", "E2"]
+        assert p.components_on("E1") == ["a", "c"]
+        assert p.components_on("E3") == []
+
+    def test_validate_exact_cover(self):
+        p = Placement({"a": "E1"})
+        p.validate_components(["a"])
+        with pytest.raises(WiringError):
+            p.validate_components(["a", "b"])   # missing b
+        with pytest.raises(WiringError):
+            p.validate_components([])           # extra a
+
+    def test_empty_rejected(self):
+        with pytest.raises(WiringError):
+            Placement({})
+
+
+class TestHelpers:
+    def test_single_engine(self):
+        p = single_engine_placement(["a", "b"], "E9")
+        assert p.engines() == ["E9"]
+        assert p.components_on("E9") == ["a", "b"]
+
+    def test_round_robin(self):
+        p = round_robin_placement(["a", "b", "c"], ["E1", "E2"])
+        assert p.engine_of("a") == "E1"
+        assert p.engine_of("b") == "E2"
+        assert p.engine_of("c") == "E1"
+
+    def test_round_robin_requires_engines(self):
+        with pytest.raises(WiringError):
+            round_robin_placement(["a"], [])

@@ -1,0 +1,85 @@
+"""Unit tests for recovery-manager bookkeeping and fencing."""
+
+import pytest
+
+from repro.apps.wordcount import birth_of, build_wordcount_app, sentence_factory
+from repro.errors import RecoveryError
+from repro.runtime.app import Deployment
+from repro.runtime.engine import EngineConfig
+from repro.runtime.placement import Placement
+from repro.runtime.transport import LinkParams
+from repro.sim.distributions import Constant
+from repro.sim.jitter import NormalTickJitter
+from repro.sim.kernel import ms, us
+
+
+def build():
+    app = build_wordcount_app(2)
+    dep = Deployment(
+        app, Placement({"sender1": "E1", "sender2": "E1", "merger": "E2"}),
+        engine_config=EngineConfig(jitter=NormalTickJitter(),
+                                   checkpoint_interval=ms(30)),
+        default_link=LinkParams(delay=Constant(us(60))),
+        control_delay=us(10), birth_of=birth_of,
+    )
+    factory = sentence_factory()
+    for i in (1, 2):
+        dep.add_poisson_producer(f"ext{i}", factory, mean_interarrival=ms(1))
+    return dep
+
+
+class TestRecoveryManager:
+    def test_unknown_engine_rejected(self):
+        dep = build()
+        with pytest.raises(RecoveryError):
+            dep.recovery.engine_failed("E99")
+
+    def test_in_progress_tracking(self):
+        dep = build()
+        dep.run(until=ms(100))
+        assert not dep.recovery.in_progress("E2")
+        dep.recovery.engine_failed("E2", detection_delay=ms(50))
+        assert dep.recovery.in_progress("E2")
+        with pytest.raises(RecoveryError):
+            dep.recovery.engine_failed("E2")
+        dep.run(until=ms(200))
+        assert not dep.recovery.in_progress("E2")
+        assert dep.recovery.failover_count("E2") == 1
+
+    def test_fencing_halts_a_live_engine(self):
+        # A false-positive declaration (engine still alive) must fence
+        # the old incarnation before promoting the replica.
+        dep = build()
+        dep.run(until=ms(200))
+        old = dep.engine("E2")
+        assert old.alive
+        dep.recovery.engine_failed("E2", detection_delay=ms(1))
+        assert not old.alive  # fenced immediately at declaration
+        dep.run(until=ms(400))
+        new = dep.engine("E2")
+        assert new is not old and new.alive
+
+    def test_false_positive_failover_preserves_output(self):
+        # Fence + promote with the "failed" engine actually healthy: the
+        # stream must still match a failure-free run (the fenced engine
+        # can no longer interfere and the replica replays normally).
+        faulty = build()
+        faulty.run(until=ms(300))
+        faulty.recovery.engine_failed("E2", detection_delay=ms(2))
+        faulty.run(until=ms(1_000))
+        clean = build()
+        clean.run(until=ms(1_000))
+        got = [(s, p["total"]) for s, _v, p, _t in
+               faulty.consumer("sink").effective_outputs]
+        want = [(s, p["total"]) for s, _v, p, _t in
+                clean.consumer("sink").effective_outputs]
+        assert got == want
+
+    def test_history_records_timestamps(self):
+        dep = build()
+        dep.run(until=ms(100))
+        dep.recovery.engine_failed("E2", detection_delay=ms(5))
+        dep.run(until=ms(300))
+        ((failed_at, active_at),) = dep.recovery.history["E2"]
+        assert active_at - failed_at == ms(5)
+        assert dep.recovery.failover_count() == 1

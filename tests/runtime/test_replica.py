@@ -1,0 +1,123 @@
+"""Unit tests for passive replicas."""
+
+import pytest
+
+from repro.core.message import CheckpointAck, CheckpointData
+from repro.errors import RecoveryError
+from repro.runtime import checkpoint as cpser
+from repro.runtime.replica import PassiveReplica
+from repro.runtime.transport import Network
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+
+
+class EngineStub:
+    def __init__(self, node_id, sim):
+        self.node_id = node_id
+        self.sim = sim
+        self.alive = True
+        self.acks = []
+
+    def receive(self, item):
+        if isinstance(item, CheckpointAck):
+            self.acks.append(item)
+
+
+def component_snap(cells, incremental, vt):
+    return {
+        "cells": cells,
+        "cells_incremental": incremental,
+        "component_vt": vt,
+        "max_arrived_vt": -1,
+        "next_call_id": 0,
+        "receivers": {},
+        "reply_receivers": {},
+        "senders": {},
+        "silence": {"horizons": {}},
+        "pending": {},
+    }
+
+
+def cp(engine_id, seq, incremental, components):
+    blob = cpser.dumps({"components": components})
+    return CheckpointData(engine_id, seq, incremental, blob)
+
+
+def make_replica():
+    sim = Simulator()
+    net = Network(sim, RngRegistry(0))
+    engine = EngineStub("E1", sim)
+    net.register(engine)
+    replica = PassiveReplica("replica:E1", sim, net, "E1")
+    net.register(replica)
+    return sim, engine, replica
+
+
+class TestReplica:
+    def test_acks_each_checkpoint(self):
+        sim, engine, replica = make_replica()
+        replica.receive(cp("E1", 1, False,
+                           {"c": component_snap({"v": 1}, False, 10)}))
+        sim.run()
+        assert [a.cp_seq for a in engine.acks] == [1]
+        assert replica.has_checkpoint
+        assert replica.last_cp_seq == 1
+
+    def test_materialize_single_full(self):
+        sim, engine, replica = make_replica()
+        replica.receive(cp("E1", 1, False,
+                           {"c": component_snap({"v": 7}, False, 10)}))
+        snaps = replica.materialize()
+        assert snaps["c"]["cells"] == {"v": 7}
+
+    def test_materialize_chain(self):
+        sim, engine, replica = make_replica()
+        replica.receive(cp("E1", 1, False,
+                           {"c": component_snap({"v": 1, "m": {"a": 1}},
+                                                False, 10)}))
+        replica.receive(cp("E1", 2, True,
+                           {"c": component_snap(
+                               {"v": (True, 5), "m": {"b": 2}}, True, 20)}))
+        snaps = replica.materialize()
+        assert snaps["c"]["cells"] == {"v": 5, "m": {"a": 1, "b": 2}}
+        assert snaps["c"]["component_vt"] == 20
+
+    def test_new_full_checkpoint_resets_chain(self):
+        sim, engine, replica = make_replica()
+        replica.receive(cp("E1", 1, False,
+                           {"c": component_snap({"v": 1}, False, 10)}))
+        replica.receive(cp("E1", 2, True,
+                           {"c": component_snap({"v": (True, 2)}, True, 20)}))
+        replica.receive(cp("E1", 3, False,
+                           {"c": component_snap({"v": 99}, False, 30)}))
+        snaps = replica.materialize()
+        assert snaps["c"]["cells"] == {"v": 99}
+        assert replica.last_cp_seq == 3
+
+    def test_delta_without_base_rejected(self):
+        sim, engine, replica = make_replica()
+        with pytest.raises(RecoveryError):
+            replica.receive(cp("E1", 1, True,
+                               {"c": component_snap({}, True, 0)}))
+
+    def test_wrong_engine_rejected(self):
+        sim, engine, replica = make_replica()
+        with pytest.raises(RecoveryError):
+            replica.receive(cp("E9", 1, False, {}))
+
+    def test_materialize_without_checkpoint_rejected(self):
+        sim, engine, replica = make_replica()
+        with pytest.raises(RecoveryError):
+            replica.materialize()
+        assert replica.last_cp_seq == -1
+
+    def test_non_checkpoint_items_ignored(self):
+        sim, engine, replica = make_replica()
+        replica.receive("noise")
+        assert not replica.has_checkpoint
+
+    def test_bytes_received_accounted(self):
+        sim, engine, replica = make_replica()
+        data = cp("E1", 1, False, {"c": component_snap({"v": 1}, False, 0)})
+        replica.receive(data)
+        assert replica.bytes_received == len(data.blob) > 0

@@ -1,0 +1,97 @@
+"""Unit tests for incremental-checkpoint merging."""
+
+import pytest
+
+from repro.core.state import _DELETED
+from repro.errors import RecoveryError
+from repro.runtime.state_merge import merge_cell, merge_component_snapshots
+
+
+class TestMergeCell:
+    def test_value_cell_changed(self):
+        assert merge_cell(1, (True, 2)) == 2
+
+    def test_value_cell_unchanged(self):
+        assert merge_cell(1, (False, None)) == 1
+
+    def test_map_cell_updates_and_inserts(self):
+        base = {"a": 1, "b": 2}
+        assert merge_cell(base, {"b": 20, "c": 3}) == {"a": 1, "b": 20, "c": 3}
+        assert base == {"a": 1, "b": 2}  # base untouched
+
+    def test_map_cell_deletions(self):
+        assert merge_cell({"a": 1, "b": 2}, {"a": _DELETED}) == {"b": 2}
+
+    def test_map_delta_on_non_map_rejected(self):
+        with pytest.raises(RecoveryError):
+            merge_cell(5, {"a": 1})
+
+    def test_malformed_value_delta_rejected(self):
+        with pytest.raises(RecoveryError):
+            merge_cell(1, (True, 2, 3))
+
+    def test_unknown_delta_shape_rejected(self):
+        with pytest.raises(RecoveryError):
+            merge_cell(1, "garbage")
+
+
+def snap(cells, incremental, vt, **extra):
+    base = {
+        "cells": cells,
+        "cells_incremental": incremental,
+        "component_vt": vt,
+        "max_arrived_vt": extra.get("max_arrived_vt", -1),
+        "next_call_id": extra.get("next_call_id", 0),
+        "receivers": extra.get("receivers", {}),
+        "reply_receivers": extra.get("reply_receivers", {}),
+        "senders": extra.get("senders", {}),
+        "silence": extra.get("silence", {"horizons": {}}),
+        "pending": extra.get("pending", {}),
+    }
+    return base
+
+
+class TestMergeComponentSnapshots:
+    def test_delta_merges_cells_and_replaces_metadata(self):
+        base = snap({"v": 1, "m": {"a": 1}}, False, vt=100,
+                    receivers={1: {"next_seq": 5}})
+        delta = snap({"v": (True, 2), "m": {"b": 9}}, True, vt=200,
+                     receivers={1: {"next_seq": 8}})
+        merged = merge_component_snapshots(base, delta)
+        assert merged["cells"] == {"v": 2, "m": {"a": 1, "b": 9}}
+        assert merged["component_vt"] == 200
+        assert merged["receivers"] == {1: {"next_seq": 8}}
+        assert merged["cells_incremental"] is False
+
+    def test_reply_receivers_carried_from_delta(self):
+        # Regression test: reply positions must come from the *newest*
+        # checkpoint or post-failover call/reply replay storms ensue.
+        base = snap({"v": 1}, False, vt=0, reply_receivers={2: {"next_seq": 3}})
+        delta = snap({"v": (False, None)}, True, vt=10,
+                     reply_receivers={2: {"next_seq": 99}})
+        merged = merge_component_snapshots(base, delta)
+        assert merged["reply_receivers"] == {2: {"next_seq": 99}}
+
+    def test_full_snapshot_wins_outright(self):
+        base = snap({"v": 1}, False, vt=0)
+        newer_full = snap({"v": 42}, False, vt=10)
+        merged = merge_component_snapshots(base, newer_full)
+        assert merged["cells"] == {"v": 42}
+        assert merged["component_vt"] == 10
+
+    def test_chain_of_deltas(self):
+        base = snap({"m": {}}, False, vt=0)
+        d1 = snap({"m": {"a": 1}}, True, vt=1)
+        d2 = snap({"m": {"b": 2}}, True, vt=2)
+        d3 = snap({"m": {"a": _DELETED}}, True, vt=3)
+        merged = base
+        for d in (d1, d2, d3):
+            merged = merge_component_snapshots(merged, d)
+        assert merged["cells"] == {"m": {"b": 2}}
+        assert merged["component_vt"] == 3
+
+    def test_delta_for_unknown_cell_rejected(self):
+        base = snap({"v": 1}, False, vt=0)
+        delta = snap({"zz": (True, 2)}, True, vt=1)
+        with pytest.raises(RecoveryError):
+            merge_component_snapshots(base, delta)

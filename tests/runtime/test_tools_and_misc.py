@@ -1,0 +1,120 @@
+"""Tests for the report tool's rendering and miscellaneous utilities."""
+
+import pytest
+
+from repro.core.estimators import CommDelayEstimator
+from repro.core.ports import OutputPort, WireSpec
+from repro.errors import (
+    ComponentError,
+    RecoveryError,
+    SchedulingError,
+    SilenceViolationError,
+    StateError,
+    TartError,
+    TransportError,
+    VirtualTimeError,
+    WiringError,
+)
+from repro.tools.report import _md_table
+
+
+class TestMdTable:
+    def test_renders_rows(self):
+        text = _md_table([{"a": 1, "b": 2.5}, {"a": None, "b": "x"}])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "|---|---|"
+        assert "| 1 | 2.50 |" in text
+        assert "| — | x |" in text
+
+    def test_empty(self):
+        assert "no rows" in _md_table([])
+
+    def test_column_selection(self):
+        text = _md_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ComponentError, RecoveryError, SchedulingError,
+        SilenceViolationError, StateError, TransportError,
+        VirtualTimeError, WiringError,
+    ])
+    def test_all_errors_are_tart_errors(self, exc):
+        assert issubclass(exc, TartError)
+
+    def test_silence_violation_is_a_virtual_time_error(self):
+        assert issubclass(SilenceViolationError, VirtualTimeError)
+
+    def test_wiring_and_state_errors_are_component_errors(self):
+        assert issubclass(WiringError, ComponentError)
+        assert issubclass(StateError, ComponentError)
+
+
+class TestWireSpec:
+    def test_str_for_internal_wire(self):
+        spec = WireSpec(3, "data", "a", "out", "b", "input",
+                        CommDelayEstimator(0))
+        assert "a.out" in str(spec)
+        assert "b.input" in str(spec)
+        assert "wire#3" in str(spec)
+
+    def test_str_for_external_ends(self):
+        spec = WireSpec(4, "ext_in", None, None, "b", "input",
+                        CommDelayEstimator(0))
+        assert "<external>" in str(spec)
+
+
+class TestOutputPortWiring:
+    def _port(self):
+        from repro.core.component import Component
+
+        class C(Component):
+            def setup(self):
+                pass
+
+        comp = C("c")
+        return OutputPort(comp, "p")
+
+    def test_fan_out_attach(self):
+        port = self._port()
+        for wid in (1, 2, 3):
+            port.attach(WireSpec(wid, "data", "c", "p", f"d{wid}", "input",
+                                 CommDelayEstimator(0)))
+        assert len(port.wires) == 3
+
+    def test_duplicate_wire_rejected(self):
+        port = self._port()
+        spec = WireSpec(1, "data", "c", "p", "d", "input",
+                        CommDelayEstimator(0))
+        port.attach(spec)
+        with pytest.raises(WiringError):
+            port.attach(spec)
+
+    def test_service_port_single_wire(self):
+        from repro.core.component import Component
+        from repro.core.ports import ServicePort
+
+        class C(Component):
+            def setup(self):
+                pass
+
+        port = ServicePort(C("c"), "svc")
+        port.attach(WireSpec(1, "call", "c", "svc", "s", "q",
+                             CommDelayEstimator(0)))
+        with pytest.raises(WiringError):
+            port.attach(WireSpec(2, "call", "c", "svc", "s2", "q",
+                                 CommDelayEstimator(0)))
+
+    def test_unwired_call_rejected(self):
+        from repro.core.component import Component
+        from repro.core.ports import ServicePort
+
+        class C(Component):
+            def setup(self):
+                pass
+
+        port = ServicePort(C("c"), "svc")
+        with pytest.raises(WiringError):
+            port.call("x")

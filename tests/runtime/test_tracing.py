@@ -1,0 +1,157 @@
+"""Tests for execution tracing and hold diagnosis."""
+
+import pytest
+
+from repro.apps.wordcount import birth_of, build_wordcount_app, sentence_factory
+from repro.core.component import Component, on_message
+from repro.core.cost import fixed_cost
+from repro.core.message import DataMessage, SilenceAdvance
+from repro.core.silence_policy import LazySilencePolicy
+from repro.runtime.app import Deployment
+from repro.runtime.engine import EngineConfig
+from repro.runtime.placement import single_engine_placement
+from repro.runtime.tracing import (
+    ExecutionTracer,
+    TraceEvent,
+    explain_hold,
+    render_hold_report,
+)
+from repro.sim.jitter import NormalTickJitter
+from repro.sim.kernel import ms, us
+
+from tests.helpers import Hub, wire
+
+
+def traced_deployment(seed=0):
+    app = build_wordcount_app(2)
+    dep = Deployment(app, single_engine_placement(app.component_names()),
+                     engine_config=EngineConfig(jitter=NormalTickJitter()),
+                     control_delay=us(10), birth_of=birth_of,
+                     master_seed=seed)
+    factory = sentence_factory()
+    for i in (1, 2):
+        dep.add_poisson_producer(f"ext{i}", factory, mean_interarrival=ms(1))
+    return dep
+
+
+class TestExecutionTracer:
+    def test_records_dispatch_and_complete(self):
+        dep = traced_deployment()
+        tracer = ExecutionTracer()
+        tracer.attach(dep)
+        dep.run(until=ms(30))
+        dispatches = tracer.events(kind="dispatch")
+        completes = tracer.events(kind="complete")
+        assert len(dispatches) > 20
+        assert len(completes) > 20
+        assert {e.component for e in dispatches} >= {"sender1", "merger"}
+
+    def test_filtering(self):
+        dep = traced_deployment()
+        tracer = ExecutionTracer()
+        tracer.attach(dep)
+        dep.run(until=ms(30))
+        merger_only = tracer.events(component="merger")
+        assert merger_only
+        assert all(e.component == "merger" for e in merger_only)
+
+    def test_capacity_bound(self):
+        tracer = ExecutionTracer(capacity=10)
+        for i in range(25):
+            tracer.record(TraceEvent(i, "c", "dispatch"))
+        assert len(tracer) == 10
+        assert tracer.events()[0].real_time == 15
+
+    def test_dump_renders(self):
+        dep = traced_deployment()
+        tracer = ExecutionTracer()
+        tracer.attach(dep)
+        dep.run(until=ms(10))
+        text = tracer.dump(limit=5)
+        assert "dispatch" in text or "complete" in text
+
+    def test_tracing_does_not_perturb_execution(self):
+        plain = traced_deployment()
+        plain.run(until=ms(200))
+        traced = traced_deployment()
+        ExecutionTracer().attach(traced)
+        traced.run(until=ms(200))
+        want = [(s, p["total"]) for s, _v, p, _t in
+                plain.consumer("sink").effective_outputs]
+        got = [(s, p["total"]) for s, _v, p, _t in
+               traced.consumer("sink").effective_outputs]
+        assert got == want
+
+    def test_holds_recorded_under_lazy_policy(self):
+        app = build_wordcount_app(2)
+        dep = Deployment(app,
+                         single_engine_placement(app.component_names()),
+                         engine_config=EngineConfig(
+                             jitter=NormalTickJitter(),
+                             policy_factory=LazySilencePolicy),
+                         control_delay=us(10), birth_of=birth_of)
+        tracer = ExecutionTracer()
+        tracer.attach(dep)
+        factory = sentence_factory()
+        for i in (1, 2):
+            dep.add_poisson_producer(f"ext{i}", factory,
+                                     mean_interarrival=ms(1))
+        dep.run(until=ms(100))
+        assert tracer.events(component="merger", kind="hold")
+
+
+class Recorder(Component):
+    def setup(self):
+        self.seen = self.state.value("seen", [])
+
+    @on_message("input", cost=fixed_cost(us(100)))
+    def handle(self, payload):
+        self.seen.set(self.seen.get() + [payload])
+
+
+class TestExplainHold:
+    def _held_merger(self):
+        hub = Hub()
+        merger = hub.add(Recorder("m"), policy=LazySilencePolicy())
+        hub.connect(wire(1, "data", dst="m"), None, "m")
+        hub.connect(wire(2, "data", dst="m"), None, "m")
+        return hub, merger
+
+    def test_idle_component(self):
+        hub, merger = self._held_merger()
+        report = explain_hold(merger)
+        assert not report["holding"]
+        assert "no pending" in report["reason"]
+        assert "idle" in render_hold_report(report) or "no pending" in \
+            render_hold_report(report)
+
+    def test_holding_identifies_blockers(self):
+        hub, merger = self._held_merger()
+        merger.on_data(DataMessage(1, 0, us(100), "x"))
+        report = explain_hold(merger)
+        assert report["holding"]
+        assert report["candidate"]["wire"] == 1
+        (blocker,) = report["blocking_wires"]
+        assert blocker["wire"] == 2
+        assert blocker["shortfall"] == us(100) + 1
+        text = render_hold_report(report)
+        assert "HOLDING" in text and "wire 2" in text
+
+    def test_dispatchable_candidate(self):
+        hub, merger = self._held_merger()
+        merger.on_silence(SilenceAdvance(2, us(1_000)))
+        merger.on_data(DataMessage(1, 0, us(100), "x"))
+        hub.run()  # processes
+        merger.on_data(DataMessage(1, 1, us(2_000), "held-again?"))
+        report = explain_hold(merger)
+        # Wire 2's horizon (1ms) is below 2ms: held again.
+        assert report["holding"]
+
+    def test_busy_component_reported(self):
+        hub, merger = self._held_merger()
+        merger.on_silence(SilenceAdvance(2, us(1_000)))
+        merger.on_data(DataMessage(1, 0, us(100), "x"))
+        assert merger.busy_info is not None
+        report = explain_hold(merger)
+        assert report["busy"]
+        assert "executing" in render_hold_report(report)

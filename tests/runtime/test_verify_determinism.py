@@ -1,0 +1,91 @@
+"""Tests for the determinism-verification tool."""
+
+import pytest
+
+from repro.apps.wordcount import birth_of, build_wordcount_app, sentence_factory
+from repro.core.component import Component, on_message
+from repro.core.cost import fixed_cost
+from repro.runtime.app import Application, Deployment
+from repro.runtime.engine import EngineConfig
+from repro.runtime.placement import single_engine_placement
+from repro.sim.jitter import NormalTickJitter
+from repro.sim.kernel import ms, us
+from repro.tools.verify_determinism import verify_determinism
+
+
+def good_factory():
+    app = build_wordcount_app(2)
+    dep = Deployment(app, single_engine_placement(app.component_names()),
+                     engine_config=EngineConfig(jitter=NormalTickJitter()),
+                     control_delay=us(10), birth_of=birth_of, master_seed=3)
+    factory = sentence_factory()
+    for i in (1, 2):
+        dep.add_poisson_producer(f"ext{i}", factory, mean_interarrival=ms(1))
+    return dep
+
+
+class TestCleanComponentPasses:
+    def test_wordcount_is_deterministic(self):
+        report = verify_determinism(good_factory, until=ms(400))
+        assert report.deterministic, report.summary()
+        assert report.outputs_compared > 300
+        assert set(report.trials) == {"repeat", "heavy-jitter",
+                                      "aggressive-silence"}
+        assert "deterministic" in report.summary()
+
+
+class _Cheater(Component):
+    """A component that reads hidden global state — forbidden, and the
+    kind of bug the verifier exists to catch (the payload depends on how
+    often the process-global counter was bumped, which tracks *real*
+    scheduling, not virtual time)."""
+
+    clock = [0]  # process-global: shared across instances = cheating
+
+    def setup(self):
+        self.out = self.output_port("out")
+
+    @on_message("input", cost=fixed_cost(us(50)))
+    def handle(self, payload):
+        _Cheater.clock[0] += 1
+        self.out.send({"stamp": _Cheater.clock[0],
+                       "birth": payload["birth"]})
+
+
+def cheating_factory():
+    app = Application("cheat")
+    app.add_component("cheater", _Cheater)
+    app.external_input("in", "cheater", "input")
+    app.external_output("cheater", "out", "sink")
+    dep = Deployment(app, single_engine_placement(app.component_names()),
+                     engine_config=EngineConfig(jitter=NormalTickJitter()),
+                     birth_of=birth_of, master_seed=3)
+    dep.add_poisson_producer("in", lambda rng, i, now: {"birth": now},
+                             mean_interarrival=ms(1))
+    return dep
+
+
+class TestCheaterCaught:
+    def test_global_state_detected(self):
+        _Cheater.clock[0] = 0
+        report = verify_determinism(cheating_factory, until=ms(100))
+        assert not report.deterministic
+        assert any(d.trial == "repeat" for d in report.divergences)
+        assert "NON-DETERMINISTIC" in report.summary()
+        assert report.divergences[0].sink == "sink"
+
+
+class TestExtraTrials:
+    def test_custom_perturbation(self):
+        seen = []
+
+        def note(deployment):
+            seen.append(True)
+
+        report = verify_determinism(
+            good_factory, until=ms(200),
+            extra_trials={"noted": note},
+        )
+        assert seen == [True]
+        assert "noted" in report.trials
+        assert report.deterministic

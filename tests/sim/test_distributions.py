@@ -1,0 +1,161 @@
+"""Unit tests for the sampling distributions."""
+
+import random
+
+import pytest
+
+from repro.sim.distributions import (
+    Constant,
+    Empirical,
+    Exponential,
+    LogNormal,
+    Mixture,
+    Normal,
+    Shifted,
+    Uniform,
+    UniformInt,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1234)
+
+
+def sample_mean(dist, rng, n=20_000):
+    return sum(dist.sample(rng) for _ in range(n)) / n
+
+
+class TestConstant:
+    def test_always_value(self, rng):
+        dist = Constant(42)
+        assert all(dist.sample(rng) == 42 for _ in range(10))
+        assert dist.mean() == 42
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Constant(-1)
+
+
+class TestUniform:
+    def test_within_bounds_and_mean(self, rng):
+        dist = Uniform(10, 30)
+        samples = [dist.sample(rng) for _ in range(5000)]
+        assert all(10 <= s <= 30 for s in samples)
+        assert sum(samples) / len(samples) == pytest.approx(20, rel=0.05)
+
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Uniform(10, 5)
+        with pytest.raises(ValueError):
+            Uniform(-1, 5)
+
+
+class TestUniformInt:
+    def test_inclusive_support(self, rng):
+        dist = UniformInt(1, 3)
+        seen = {dist.sample(rng) for _ in range(200)}
+        assert seen == {1, 2, 3}
+
+    def test_mean_and_variance(self):
+        dist = UniformInt(1, 19)
+        assert dist.mean() == 10
+        assert dist.variance() == pytest.approx(30.0)
+
+    def test_degenerate(self, rng):
+        dist = UniformInt(5, 5)
+        assert dist.sample(rng) == 5
+        assert dist.variance() == 0
+
+
+class TestExponential:
+    def test_mean(self, rng):
+        dist = Exponential(1000)
+        assert sample_mean(dist, rng) == pytest.approx(1000, rel=0.05)
+
+    def test_non_negative(self, rng):
+        dist = Exponential(10)
+        assert all(dist.sample(rng) >= 0 for _ in range(1000))
+
+    def test_rejects_non_positive_mean(self):
+        with pytest.raises(ValueError):
+            Exponential(0)
+
+
+class TestNormal:
+    def test_mean(self, rng):
+        dist = Normal(500, 50)
+        assert sample_mean(dist, rng) == pytest.approx(500, rel=0.05)
+
+    def test_truncated_at_zero(self, rng):
+        dist = Normal(1, 100)
+        assert all(dist.sample(rng) >= 0 for _ in range(2000))
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            Normal(0, -1)
+
+
+class TestLogNormal:
+    def test_mean_matches_target(self, rng):
+        dist = LogNormal(mean=1000, sigma=1.0)
+        assert sample_mean(dist, rng, 50_000) == pytest.approx(1000, rel=0.1)
+
+    def test_right_skewed(self, rng):
+        dist = LogNormal(mean=1000, sigma=1.0)
+        samples = sorted(dist.sample(rng) for _ in range(20_000))
+        median = samples[len(samples) // 2]
+        mean = sum(samples) / len(samples)
+        assert mean > median  # right skew
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LogNormal(0, 1)
+
+
+class TestEmpirical:
+    def test_samples_from_given_values(self, rng):
+        dist = Empirical([5, 10, 15])
+        assert all(dist.sample(rng) in (5, 10, 15) for _ in range(100))
+        assert dist.mean() == 10
+        assert len(dist) == 3
+
+    def test_quantile(self):
+        dist = Empirical(list(range(101)))
+        assert dist.quantile(0.0) == 0
+        assert dist.quantile(0.5) == 50
+        assert dist.quantile(1.0) == 100
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Empirical([])
+
+
+class TestShifted:
+    def test_offset_applied(self, rng):
+        dist = Shifted(Constant(10), 5)
+        assert dist.sample(rng) == 15
+        assert dist.mean() == 15
+
+    def test_rejects_negative_offset(self):
+        with pytest.raises(ValueError):
+            Shifted(Constant(1), -1)
+
+
+class TestMixture:
+    def test_mean_is_weighted(self, rng):
+        dist = Mixture([Constant(0), Constant(100)], [1, 1])
+        assert dist.mean() == 50
+        assert sample_mean(dist, rng, 4000) == pytest.approx(50, abs=5)
+
+    def test_extreme_weights(self, rng):
+        dist = Mixture([Constant(0), Constant(100)], [1, 0])
+        assert all(dist.sample(rng) == 0 for _ in range(100))
+
+    def test_rejects_mismatched_or_empty(self):
+        with pytest.raises(ValueError):
+            Mixture([Constant(1)], [1, 2])
+        with pytest.raises(ValueError):
+            Mixture([], [])
+        with pytest.raises(ValueError):
+            Mixture([Constant(1)], [-1])

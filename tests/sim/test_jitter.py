@@ -1,0 +1,83 @@
+"""Unit tests for execution-time jitter models."""
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.jitter import NoJitter, NormalTickJitter, TraceJitter
+
+
+@pytest.fixture
+def rng():
+    return random.Random(99)
+
+
+class TestNoJitter:
+    def test_identity(self, rng):
+        assert NoJitter().actual_duration(rng, 12345) == 12345
+
+
+class TestNormalTickJitter:
+    def test_mean_tracks_nominal(self, rng):
+        jitter = NormalTickJitter(1.0, 0.1)
+        nominal = 600_000
+        samples = [jitter.actual_duration(rng, nominal) for _ in range(2000)]
+        assert sum(samples) / len(samples) == pytest.approx(nominal, rel=0.01)
+
+    def test_per_tick_variance_scales_with_sqrt(self, rng):
+        jitter = NormalTickJitter(1.0, 0.1)
+        nominal = 1_000_000
+        samples = [jitter.actual_duration(rng, nominal) for _ in range(3000)]
+        mean = sum(samples) / len(samples)
+        sd = (sum((s - mean) ** 2 for s in samples) / len(samples)) ** 0.5
+        assert sd == pytest.approx(0.1 * nominal**0.5, rel=0.1)
+
+    def test_correlated_variance_scales_linearly(self, rng):
+        jitter = NormalTickJitter(1.0, 0.1, correlated=True)
+        nominal = 1_000_000
+        samples = [jitter.actual_duration(rng, nominal) for _ in range(3000)]
+        mean = sum(samples) / len(samples)
+        sd = (sum((s - mean) ** 2 for s in samples) / len(samples)) ** 0.5
+        assert sd == pytest.approx(0.1 * nominal, rel=0.1)
+
+    def test_zero_nominal(self, rng):
+        assert NormalTickJitter().actual_duration(rng, 0) == 0
+
+    def test_never_negative(self, rng):
+        jitter = NormalTickJitter(1.0, 10.0)
+        assert all(jitter.actual_duration(rng, 4) >= 0 for _ in range(500))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(SimulationError):
+            NormalTickJitter(0, 0.1)
+        with pytest.raises(SimulationError):
+            NormalTickJitter(1.0, -1)
+
+
+class TestTraceJitter:
+    def test_samples_from_matching_bucket(self, rng):
+        jitter = TraceJitter({3: [300, 310], 5: [500]})
+        for _ in range(20):
+            assert jitter.actual_duration(rng, 0, {"loop": 5}) == 500
+            assert jitter.actual_duration(rng, 0, {"loop": 3}) in (300, 310)
+
+    def test_missing_feature_falls_back_to_nominal(self, rng):
+        jitter = TraceJitter({3: [300]})
+        assert jitter.actual_duration(rng, 777, {}) == 777
+        assert jitter.actual_duration(rng, 777, None) == 777
+
+    def test_unknown_count_extrapolates_linearly(self, rng):
+        jitter = TraceJitter({10: [1000]})
+        assert jitter.actual_duration(rng, 0, {"loop": 20}) == 2000
+        assert jitter.actual_duration(rng, 0, {"loop": 5}) == 500
+
+    def test_bucket_counts(self):
+        jitter = TraceJitter({1: [10], 2: [20, 21]})
+        assert jitter.bucket_counts() == {1: 1, 2: 2}
+
+    def test_rejects_empty(self):
+        with pytest.raises(SimulationError):
+            TraceJitter({})
+        with pytest.raises(SimulationError):
+            TraceJitter({1: []})

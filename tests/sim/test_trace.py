@@ -1,0 +1,74 @@
+"""Unit tests for the synthetic service-time trace (Figure 2 substrate)."""
+
+import random
+
+import pytest
+
+from repro.core.calibration import LinearRegressionCalibrator
+from repro.sim.kernel import us
+from repro.sim.trace import ServiceTimeTrace, synthesize_service_trace
+
+
+@pytest.fixture
+def rng():
+    return random.Random(2024)
+
+
+class TestServiceTimeTrace:
+    def test_add_and_len(self):
+        trace = ServiceTimeTrace()
+        trace.add(3, 180_000)
+        trace.add(3, 190_000)
+        trace.add(7, 430_000)
+        assert len(trace) == 3
+        assert trace.buckets() == {3: [180_000, 190_000], 7: [430_000]}
+        assert trace.iteration_counts() == [3, 3, 7]
+        assert trace.durations() == [180_000, 190_000, 430_000]
+        assert trace.mean_duration() == pytest.approx(800_000 / 3)
+
+    def test_empty_mean(self):
+        assert ServiceTimeTrace().mean_duration() == 0.0
+
+
+class TestSynthesize:
+    def test_sample_count_and_support(self, rng):
+        trace = synthesize_service_trace(rng, n=500)
+        assert len(trace) == 500
+        counts = set(trace.iteration_counts())
+        assert counts <= set(range(1, 20))
+        assert all(d >= us(2) for d in trace.durations())
+
+    def test_regression_recovers_slope(self, rng):
+        slope = us(61.827)
+        trace = synthesize_service_trace(rng, n=10_000, slope_ticks=slope)
+        calib = LinearRegressionCalibrator(["loop"], fit_intercept=False)
+        for k, d in trace.samples:
+            calib.add_sample({"loop": k}, d)
+        fit = calib.fit()
+        assert fit.coefficient("loop") == pytest.approx(slope, rel=0.02)
+
+    def test_fit_quality_matches_paper_band(self, rng):
+        # Figure 2: R^2 = 0.9154, residuals highly right-skewed, ~zero
+        # residual-iteration correlation.
+        trace = synthesize_service_trace(rng, n=10_000)
+        calib = LinearRegressionCalibrator(["loop"], fit_intercept=False)
+        for k, d in trace.samples:
+            calib.add_sample({"loop": k}, d)
+        fit = calib.fit()
+        assert 0.85 <= fit.r_squared <= 0.97
+        assert fit.residual_skewness > 1.0
+        assert abs(fit.residual_feature_corr[0]) < 0.05
+
+    def test_reproducible_for_same_seed(self):
+        a = synthesize_service_trace(random.Random(5), n=200)
+        b = synthesize_service_trace(random.Random(5), n=200)
+        assert a.samples == b.samples
+
+    def test_rejects_bad_n(self, rng):
+        with pytest.raises(ValueError):
+            synthesize_service_trace(rng, n=0)
+
+    def test_custom_iteration_range(self, rng):
+        trace = synthesize_service_trace(rng, n=300, iterations_low=5,
+                                         iterations_high=5)
+        assert set(trace.iteration_counts()) == {5}

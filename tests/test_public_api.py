@@ -1,0 +1,74 @@
+"""The public API surface: every exported name resolves and the
+headline workflow works through top-level imports only."""
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_subpackage_alls_resolve(self):
+        import repro.core as core
+        import repro.experiments as experiments
+        import repro.runtime as runtime
+        import repro.sim as sim
+        import repro.vt as vt
+
+        for module in (core, experiments, runtime, sim, vt):
+            for name in module.__all__:
+                assert getattr(module, name, None) is not None, (
+                    module.__name__, name)
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestTopLevelWorkflow:
+    def test_component_to_recovery_through_public_names_only(self):
+        from repro import (
+            Application,
+            Component,
+            Deployment,
+            EngineConfig,
+            FailureInjector,
+            Placement,
+            fixed_cost,
+            ms,
+            on_message,
+            us,
+        )
+
+        class Echo(Component):
+            def setup(self):
+                self.n = self.state.value("n", 0)
+                self.out = self.output_port("out")
+
+            @on_message("input", cost=fixed_cost(us(50)))
+            def handle(self, payload):
+                self.n.set(self.n.get() + 1)
+                self.out.send({"n": self.n.get(),
+                               "birth": payload["birth"]})
+
+        app = Application("api-test")
+        app.add_component("echo", Echo)
+        app.external_input("in", "echo", "input")
+        app.external_output("echo", "out", "sink")
+
+        dep = Deployment(
+            app, Placement({"echo": "E1"}),
+            engine_config=EngineConfig(checkpoint_interval=ms(20)),
+            birth_of=lambda p: p.get("birth"),
+        )
+        dep.add_poisson_producer(
+            "in", lambda rng, i, now: {"birth": now},
+            mean_interarrival=ms(1))
+        FailureInjector(dep).kill_engine("E1", at=ms(100),
+                                         detection_delay=ms(2))
+        dep.run(until=ms(400))
+        outputs = [p["n"] for p in dep.consumer("sink").payloads()]
+        assert outputs == list(range(1, len(outputs) + 1))
+        assert len(outputs) > 200

@@ -1,0 +1,82 @@
+"""Unit tests for the per-component silence map."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.vt.silence import SilenceMap
+from repro.vt.time import NEVER
+
+
+class TestSilenceMap:
+    def test_initial_horizons(self):
+        smap = SilenceMap([1, 2])
+        assert smap.horizon(1) == -1
+        assert smap.min_horizon() == -1
+        assert smap.wires() == [1, 2]
+
+    def test_advance_is_monotonic(self):
+        smap = SilenceMap([1])
+        assert smap.advance(1, 100)
+        assert not smap.advance(1, 50)
+        assert smap.horizon(1) == 100
+
+    def test_silent_through_requires_all_wires(self):
+        smap = SilenceMap([1, 2, 3])
+        smap.advance(1, 100)
+        smap.advance(2, 100)
+        assert not smap.silent_through(100)
+        smap.advance(3, 99)
+        assert not smap.silent_through(100)
+        smap.advance(3, 100)
+        assert smap.silent_through(100)
+
+    def test_excluding_the_candidate_wire(self):
+        # The candidate message's own wire is accounted by the message.
+        smap = SilenceMap([1, 2])
+        smap.advance(2, 100)
+        assert smap.silent_through(100, excluding=1)
+        assert not smap.silent_through(100, excluding=2)
+
+    def test_blocking_wires_sorted(self):
+        smap = SilenceMap([3, 1, 2])
+        smap.advance(2, 100)
+        assert smap.blocking_wires(50) == [1, 3]
+        assert smap.blocking_wires(50, excluding=3) == [1]
+        assert smap.blocking_wires(200) == [1, 2, 3]
+
+    def test_no_wires_is_always_silent(self):
+        smap = SilenceMap()
+        assert smap.silent_through(10**15)
+        assert smap.min_horizon() == NEVER
+
+    def test_close_wire(self):
+        smap = SilenceMap([1, 2])
+        smap.close_wire(1)
+        smap.advance(2, 7)
+        assert smap.silent_through(7)
+        assert smap.horizon(1) == NEVER
+
+    def test_duplicate_wire_rejected(self):
+        smap = SilenceMap([1])
+        with pytest.raises(SchedulingError):
+            smap.add_wire(1)
+
+    def test_unknown_wire_rejected(self):
+        smap = SilenceMap([1])
+        with pytest.raises(SchedulingError):
+            smap.advance(9, 10)
+        with pytest.raises(SchedulingError):
+            smap.horizon(9)
+
+    def test_snapshot_restore_roundtrip(self):
+        smap = SilenceMap([1, 2])
+        smap.advance(1, 123)
+        restored = SilenceMap.restore(smap.snapshot())
+        assert restored.horizon(1) == 123
+        assert restored.horizon(2) == -1
+        assert restored.wires() == [1, 2]
+
+    def test_restore_with_string_keys(self):
+        # Serialization round trips may stringify keys; restore coerces.
+        restored = SilenceMap.restore({"horizons": {"5": 77}})
+        assert restored.horizon(5) == 77

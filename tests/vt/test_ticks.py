@@ -1,0 +1,155 @@
+"""Unit tests for sender/receiver tick-stream accounting."""
+
+import pytest
+
+from repro.core.message import DataMessage
+from repro.errors import SilenceViolationError, VirtualTimeError
+from repro.vt.ticks import TickStreamReceiver, TickStreamSender
+
+
+def msg(wire, seq, vt, payload=None):
+    return DataMessage(wire, seq, vt, payload)
+
+
+class TestSender:
+    def test_emit_assigns_sequence_and_tracks_vt(self):
+        sender = TickStreamSender(1)
+        sender.emit_message(msg(1, 0, 100))
+        sender.emit_message(msg(1, 1, 200))
+        assert sender.next_seq == 2
+        assert sender.last_data_vt == 200
+        assert sender.silence_promised == 200
+
+    def test_emit_rejects_wrong_seq(self):
+        sender = TickStreamSender(1)
+        with pytest.raises(VirtualTimeError):
+            sender.emit_message(msg(1, 5, 100))
+
+    def test_emit_rejects_non_advancing_vt(self):
+        sender = TickStreamSender(1)
+        sender.emit_message(msg(1, 0, 100))
+        with pytest.raises(VirtualTimeError):
+            sender.emit_message(msg(1, 1, 100))
+
+    def test_emit_rejects_vt_inside_promised_silence(self):
+        sender = TickStreamSender(1)
+        sender.promise_silence(500)
+        with pytest.raises(SilenceViolationError):
+            sender.emit_message(msg(1, 0, 400))
+
+    def test_promise_is_monotonic(self):
+        sender = TickStreamSender(1)
+        assert sender.promise_silence(100) == 100
+        assert sender.promise_silence(50) == 100
+
+    def test_binding_promise_sets_floor(self):
+        sender = TickStreamSender(1)
+        sender.promise_silence(100, binding=False)
+        assert sender.floor_vt == -1
+        sender.promise_silence(200, binding=True)
+        assert sender.floor_vt == 200
+        assert sender.silence_promised == 200
+
+    def test_replay_and_trim(self):
+        sender = TickStreamSender(1)
+        for i in range(5):
+            sender.emit_message(msg(1, i, (i + 1) * 10))
+        assert [m.seq for m in sender.replay_from(2)] == [2, 3, 4]
+        assert sender.trim_through(1) == 2
+        assert sender.retained_count() == 3
+        assert [m.seq for m in sender.replay_from(0)] == [2, 3, 4]
+
+    def test_replayed_messages_are_the_originals(self):
+        sender = TickStreamSender(1)
+        original = msg(1, 0, 10, payload={"x": 1})
+        sender.emit_message(original)
+        assert sender.replay_from(0)[0] is original
+
+    def test_no_retention_when_disabled(self):
+        sender = TickStreamSender(1, retain=False)
+        sender.emit_message(msg(1, 0, 10))
+        assert sender.retained_count() == 0
+
+    def test_snapshot_restore_roundtrip(self):
+        sender = TickStreamSender(3)
+        sender.emit_message(msg(3, 0, 50))
+        sender.promise_silence(80, binding=True)
+        snap = sender.snapshot()
+        restored = TickStreamSender.restore(snap)
+        assert restored.wire_id == 3
+        assert restored.next_seq == 1
+        assert restored.last_data_vt == 50
+        assert restored.silence_promised == 80
+        assert restored.floor_vt == 80
+        assert restored.retained_count() == 1
+
+    def test_snapshot_with_encoder(self):
+        sender = TickStreamSender(1)
+        sender.emit_message(msg(1, 0, 10, "hello"))
+        snap = sender.snapshot(encode=lambda m: {"seq": m.seq, "vt": m.vt})
+        assert snap["retained"] == [{"seq": 0, "vt": 10}]
+        restored = TickStreamSender.restore(
+            snap, decode=lambda d: msg(1, d["seq"], d["vt"])
+        )
+        assert restored.replay_from(0)[0].vt == 10
+
+
+class TestReceiver:
+    def test_in_order_delivery(self):
+        recv = TickStreamReceiver(1)
+        assert recv.accept(0, 10) == "deliver"
+        assert recv.accept(1, 20) == "deliver"
+        assert recv.next_seq == 2
+        assert recv.horizon == 20
+
+    def test_duplicate_detection(self):
+        recv = TickStreamReceiver(1)
+        recv.accept(0, 10)
+        assert recv.accept(0, 10) == "duplicate"
+        assert recv.next_seq == 1
+
+    def test_gap_detection(self):
+        recv = TickStreamReceiver(1)
+        recv.accept(0, 10)
+        assert recv.accept(3, 40) == "gap"
+        # The gap message is not consumed: state unchanged.
+        assert recv.next_seq == 1
+        assert recv.horizon == 10
+
+    def test_vt_regression_is_an_error(self):
+        recv = TickStreamReceiver(1)
+        recv.accept(0, 100)
+        with pytest.raises(VirtualTimeError):
+            recv.accept(1, 100)
+
+    def test_silence_advance(self):
+        recv = TickStreamReceiver(1)
+        assert recv.advance_silence(50)
+        assert recv.horizon == 50
+        assert not recv.advance_silence(40)
+        assert recv.horizon == 50
+
+    def test_data_after_silence_advance_is_fine(self):
+        # Silence through 50, then data at 60 (sender promised through 50
+        # and delivers beyond it).
+        recv = TickStreamReceiver(1)
+        recv.advance_silence(50)
+        assert recv.accept(0, 60) == "deliver"
+        assert recv.horizon == 60
+
+    def test_snapshot_restore_roundtrip(self):
+        recv = TickStreamReceiver(2)
+        recv.accept(0, 15)
+        recv.advance_silence(99)
+        snap = recv.snapshot()
+        restored = TickStreamReceiver.restore(snap)
+        assert restored.next_seq == 1
+        assert restored.horizon == 99
+        assert restored.accept(1, 120) == "deliver"
+
+    def test_restored_receiver_rejects_vt_regression(self):
+        recv = TickStreamReceiver(2)
+        recv.accept(0, 100)
+        restored = TickStreamReceiver.restore(recv.snapshot())
+        with pytest.raises(VirtualTimeError):
+            restored.accept(1, 90)

@@ -1,0 +1,37 @@
+"""Unit tests for virtual-time arithmetic and tie-breaking."""
+
+from repro.vt.time import NEVER, MessageKey, format_vt
+
+
+class TestMessageKey:
+    def test_orders_by_vt_first(self):
+        assert MessageKey(10, 99, 99) < MessageKey(11, 0, 0)
+
+    def test_ties_broken_by_wire_id(self):
+        # Paper footnote 2: identical times are ordered by wire ids.
+        assert MessageKey(10, 1, 50) < MessageKey(10, 2, 0)
+
+    def test_ties_broken_by_seq_last(self):
+        assert MessageKey(10, 1, 0) < MessageKey(10, 1, 1)
+
+    def test_equality(self):
+        assert MessageKey(5, 1, 2) == MessageKey(5, 1, 2)
+
+    def test_total_order_is_deterministic(self):
+        keys = [MessageKey(3, 2, 0), MessageKey(3, 1, 5), MessageKey(2, 9, 9)]
+        assert sorted(keys) == [MessageKey(2, 9, 9), MessageKey(3, 1, 5),
+                                MessageKey(3, 2, 0)]
+
+    def test_str(self):
+        assert "wire=1" in str(MessageKey(1000, 1, 0))
+
+
+class TestFormat:
+    def test_whole_microseconds(self):
+        assert format_vt(5_000) == "5us"
+
+    def test_fractional(self):
+        assert format_vt(5_250) == "5.250us"
+
+    def test_never(self):
+        assert format_vt(NEVER) == "NEVER"
