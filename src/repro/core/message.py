@@ -13,8 +13,9 @@ mode (see :class:`repro.runtime.transport.Transport`).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Dict, Tuple, Type
 
 from repro.vt.time import MessageKey
 
@@ -131,3 +132,38 @@ class DeterminismFaultRecord:
     effective_vt: int
     coefficients: tuple
     intercept: int = 0
+
+
+# ----------------------------------------------------------------------
+# Wire round-trip support (used by repro.net.codec)
+# ----------------------------------------------------------------------
+
+#: Every message class defined here that may cross a real network
+#: socket, in a fixed order.  :mod:`repro.net.codec` assigns each a
+#: permanent wire-format type tag from this tuple plus the transport-
+#: level types it adds (heartbeats, cluster control); the order below is
+#: therefore part of the wire format and entries must only ever be
+#: appended.  Subclasses are listed before their base so exact-type
+#: round-trips are unambiguous.
+WIRE_MESSAGE_TYPES: Tuple[Type, ...] = (
+    CallRequest,
+    CallReply,
+    DataMessage,
+    SilenceAdvance,
+    CuriosityProbe,
+    ReplayRequest,
+    StableNotice,
+    CheckpointData,
+    CheckpointAck,
+    DeterminismFaultRecord,
+)
+
+
+def message_fields(msg: Any) -> Dict[str, Any]:
+    """Shallow field dict of one wire message, in declaration order.
+
+    Unlike :func:`dataclasses.asdict` this does not recurse into
+    payloads, so arbitrary payload values survive a round-trip through
+    ``cls(**message_fields(msg))`` unchanged.
+    """
+    return {f.name: getattr(msg, f.name) for f in dataclasses.fields(msg)}

@@ -67,6 +67,26 @@ class RecoveryError(TartError):
     """Failover or replay could not complete."""
 
 
+class FailoverInProgressError(RecoveryError):
+    """A failure was reported for an engine whose failover is already
+    underway (e.g. the heartbeat detector and the failure injector both
+    declare the same engine dead).
+
+    The error is structured so a caller can recognise the benign
+    double-report case and ignore it: ``engine_id`` identifies the
+    engine, ``failed_at`` is the simulated time at which the failover in
+    progress was declared.
+    """
+
+    def __init__(self, engine_id: str, failed_at: int):
+        super().__init__(
+            f"{engine_id}: failover already in progress "
+            f"(declared failed at t={failed_at})"
+        )
+        self.engine_id = engine_id
+        self.failed_at = failed_at
+
+
 class ReplayGapError(RecoveryError):
     """A gap in the tick sequence could not be filled by any sender.
 

@@ -1,0 +1,327 @@
+"""Framed, reconnecting socket channels.
+
+An :class:`OutboundChannel` carries messages from one process to one
+destination *node* (an engine, replica, ingress, or consumer), wherever
+that node is currently hosted.  It mirrors the delivery guarantees of
+the simulated :class:`~repro.runtime.link.ReliableChannel`:
+
+* **FIFO, exactly-once within an incarnation.**  Items get per-channel
+  sequence numbers and stay buffered until cumulatively acknowledged;
+  after a TCP drop the channel reconnects and resends everything
+  unacknowledged, and the receiver discards sequence numbers it has
+  already seen.
+* **Epoch reset across incarnations.**  The WELCOME handshake carries
+  the hosted node's *incarnation*.  When it changes (the node was
+  re-hosted — i.e. a replica was promoted), buffered traffic for the
+  dead incarnation is discarded and sequence numbers restart, exactly
+  like ``ReliableChannel.reset()`` on engine failure: the volatile
+  channel state died with the engine, and TART's checkpoint + replay
+  recovery regenerates anything that mattered.
+* **Backpressure.**  The writer honours the socket's flow control
+  (``drain()``), and :meth:`backlog` exposes the unsent + unacked depth
+  so the real-time pump can stop advancing the local engine when a peer
+  falls behind (see ``RealtimeKernel.congestion_check``) — end-to-end
+  backpressure instead of unbounded buffering.
+
+Address lists are ordered candidates: for an engine node the primary
+host comes first and its replica's process second, so after a failover
+the reconnect loop finds the promoted incarnation by itself (the
+replica process answers NOT_HERE until promotion completes).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any, Deque, List, Optional, Sequence, Tuple
+
+from repro.net import codec
+
+#: Items buffered (unsent + unacked) above which a channel reports
+#: congestion to the pump.
+HIGH_WATER_ITEMS = 4096
+
+#: Reconnect backoff bounds in seconds.
+_BACKOFF_MIN = 0.02
+_BACKOFF_MAX = 0.5
+
+
+class OutboundChannel:
+    """Orders and retransmits items toward one destination node."""
+
+    def __init__(self, peer_id: str, dst_node: str,
+                 addresses: Sequence[Tuple[str, int]]):
+        if not addresses:
+            raise codec.CodecError(f"no addresses for node {dst_node!r}")
+        self.peer_id = peer_id
+        self.dst_node = dst_node
+        self.addresses: List[Tuple[str, int]] = [tuple(a) for a in addresses]
+        #: Items accepted but not yet assigned a sequence number.
+        self._pending: Deque[Tuple[str, Any]] = deque()
+        #: (seq, frame bytes) sent but not yet acknowledged.
+        self._unacked: Deque[Tuple[int, bytes]] = deque()
+        self._next_seq = 0
+        self._known_incarnation: Optional[str] = None
+        #: When set, only incarnations hosted by this peer are accepted
+        #: (the node is known to have moved there; see :meth:`redirect`).
+        self._expected_peer: Optional[str] = None
+        self._writer = None
+        self._wake = asyncio.Event()
+        self._closed = False
+        self._task: Optional[asyncio.Task] = None
+        #: Diagnostics.
+        self.items_sent = 0
+        self.items_acked = 0
+        self.reconnects = 0
+        self.epoch_resets = 0
+
+    # -- producer side (called synchronously from sim events) ----------
+    def enqueue(self, src_node: str, msg: Any) -> None:
+        """Accept one message for delivery; never blocks."""
+        if self._closed:
+            return
+        self._pending.append((src_node, msg))
+        self._wake.set()
+
+    def backlog(self) -> int:
+        """Unsent + unacknowledged item count (congestion signal)."""
+        return len(self._pending) + len(self._unacked)
+
+    def congested(self) -> bool:
+        """Whether the pump should pause before producing more."""
+        return self.backlog() > HIGH_WATER_ITEMS
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        """Launch the connect/send loop on the running event loop."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._run(), name=f"channel:{self.dst_node}"
+            )
+
+    async def close(self) -> None:
+        """Stop the channel; buffered items are dropped."""
+        self._closed = True
+        self._wake.set()
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._task = None
+
+    def reset(self) -> None:
+        """Discard buffered traffic (the peer node was declared failed).
+
+        Mirrors ``ReliableChannel.reset()``: in-flight and unacked items
+        of the old epoch are lost with the failed node; replay recovers
+        whatever mattered.  The reconnect loop keeps running and will
+        adopt the node's next incarnation.
+        """
+        self._pending.clear()
+        self._unacked.clear()
+        self._known_incarnation = None
+        self._next_seq = 0
+        self.epoch_resets += 1
+        self._wake.set()
+
+    def redirect(self, host_peer_id: str) -> None:
+        """The destination node is now hosted by ``host_peer_id``.
+
+        Called when inbound traffic *from* this node arrives via a peer
+        that does not match the channel's adopted incarnation — direct
+        evidence that the node was re-hosted (promoted).  Performing the
+        epoch reset *now*, before the evidence item is processed, is
+        what keeps replay sound: anything the local runtime enqueues in
+        response (most importantly a replay fill) lands in the new epoch
+        and survives, instead of being discarded when the reconnect loop
+        discovers the new incarnation on its own.  The current
+        connection (pointed at the dead incarnation) is aborted, and
+        only incarnations hosted by ``host_peer_id`` are accepted until
+        the node moves again.
+        """
+        if (self._known_incarnation is not None
+                and self._known_incarnation.startswith(host_peer_id + "#")):
+            return  # already pointed at the right host
+        if (self._known_incarnation is None
+                and self._expected_peer == host_peer_id):
+            return
+        self._expected_peer = host_peer_id
+        self._pending.clear()
+        self._unacked.clear()
+        self._next_seq = 0
+        self._known_incarnation = None
+        self.epoch_resets += 1
+        if self._writer is not None:
+            self._writer.close()
+        self._wake.set()
+
+    # -- internals ------------------------------------------------------
+    async def _run(self) -> None:
+        backoff = _BACKOFF_MIN
+        addr_idx = 0
+        while not self._closed:
+            address = self.addresses[addr_idx % len(self.addresses)]
+            addr_idx += 1
+            conn = await self._try_connect(address)
+            if conn is None:
+                await asyncio.sleep(backoff)
+                backoff = min(_BACKOFF_MAX, backoff * 1.6)
+                continue
+            backoff = _BACKOFF_MIN
+            reader, writer, incarnation = conn
+            self._on_incarnation(incarnation)
+            try:
+                await self._converse(reader, writer)
+            except (ConnectionError, OSError, asyncio.IncompleteReadError):
+                pass
+            finally:
+                self.reconnects += 1
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+    async def _try_connect(self, address: Tuple[str, int]):
+        """One connect + handshake attempt; None if unusable."""
+        host, port = address
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), timeout=2.0
+            )
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            return None
+        try:
+            writer.write(codec.encode_hello(self.peer_id, self.dst_node))
+            await writer.drain()
+            frame = await asyncio.wait_for(codec.read_frame(reader),
+                                           timeout=2.0)
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            writer.close()
+            return None
+        if frame is None or frame[0] != codec.FRAME_WELCOME:
+            # NOT_HERE (or EOF): the node is not hosted there (yet);
+            # back off and let the loop try the next candidate address.
+            writer.close()
+            return None
+        incarnation = frame[1].get("incarnation", "")
+        if (self._expected_peer is not None
+                and not incarnation.startswith(self._expected_peer + "#")):
+            # A stale host answered (e.g. a not-yet-fenced primary after
+            # its replica was promoted); keep cycling to the true host.
+            writer.close()
+            return None
+        return reader, writer, incarnation
+
+    def _on_incarnation(self, incarnation: str) -> None:
+        if self._known_incarnation is None:
+            self._known_incarnation = incarnation
+        elif incarnation != self._known_incarnation:
+            # The node moved to a new incarnation: epoch reset.  Items
+            # buffered for the dead incarnation are conceptually already
+            # lost (fail-stop); the promoted node drives replay.
+            self._pending.clear()
+            self._unacked.clear()
+            self._next_seq = 0
+            self._known_incarnation = incarnation
+            self.epoch_resets += 1
+
+    async def _converse(self, reader, writer) -> None:
+        """Send/resend loop for one live connection."""
+        self._writer = writer
+        acks = asyncio.get_running_loop().create_task(
+            self._consume_acks(reader), name=f"acks:{self.dst_node}"
+        )
+        try:
+            # Same incarnation, new connection: resend the unacked tail
+            # first, in order (the receiver discards duplicates by seq).
+            for _seq, frame in list(self._unacked):
+                writer.write(frame)
+            await writer.drain()
+            while not self._closed:
+                if acks.done():
+                    break  # connection died under the ack reader
+                while self._pending:
+                    src, msg = self._pending.popleft()
+                    seq = self._next_seq
+                    self._next_seq += 1
+                    frame = codec.encode_item(seq, src, self.dst_node, msg)
+                    self._unacked.append((seq, frame))
+                    writer.write(frame)
+                    self.items_sent += 1
+                await writer.drain()
+                self._wake.clear()
+                if self._pending:
+                    continue
+                waiter = asyncio.get_running_loop().create_task(
+                    self._wake.wait()
+                )
+                done, _ = await asyncio.wait(
+                    {waiter, acks}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if not waiter.done():
+                    waiter.cancel()
+                if acks in done:
+                    break
+        finally:
+            self._writer = None
+            if not acks.done():
+                acks.cancel()
+                try:
+                    await acks
+                except asyncio.CancelledError:
+                    pass
+
+    async def _consume_acks(self, reader) -> None:
+        while True:
+            frame = await codec.read_frame(reader)
+            if frame is None:
+                return
+            frame_tag, body = frame
+            if frame_tag != codec.FRAME_ACK:
+                continue
+            upto = int(body.get("upto", 0))
+            while self._unacked and self._unacked[0][0] < upto:
+                self._unacked.popleft()
+                self.items_acked += 1
+
+
+async def send_fence_once(address: Tuple[str, int], peer_id: str,
+                          engine_id: str, attempts: int = 10,
+                          gap: float = 0.2) -> bool:
+    """Best-effort one-shot fence delivery to an engine's *primary*
+    address (never the replica's, so a completed promotion cannot fence
+    itself).  Returns True if the fence was handed to the peer.
+    """
+    host, port = address
+    for _ in range(attempts):
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), timeout=1.0
+            )
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            await asyncio.sleep(gap)
+            continue
+        try:
+            writer.write(codec.encode_hello(peer_id, engine_id))
+            await writer.drain()
+            frame = await asyncio.wait_for(codec.read_frame(reader),
+                                           timeout=1.0)
+            if frame is not None and frame[0] == codec.FRAME_WELCOME:
+                writer.write(codec.encode_item(
+                    0, peer_id, engine_id, codec.FenceRequest(engine_id)
+                ))
+                await writer.drain()
+                return True
+            return False  # NOT_HERE: nothing to fence at the primary
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            await asyncio.sleep(gap)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+    return False

@@ -1,0 +1,430 @@
+"""Cluster coordinator: launch, kill, and verify a real networked run.
+
+``python -m repro.net.cluster`` is the end-to-end acceptance harness for
+the networked runtime.  It:
+
+1. computes the ground truth by running the cluster spec purely in
+   simulation (:func:`~repro.net.topology.reference_run` — same seeds,
+   same wire tables, so the simulator predicts the exact output stream);
+2. spawns one OS process per engine and per replica (``python -m
+   repro.net.server``), hosts the ingresses and consumers itself, and
+   releases everything through the GO barrier with a shared clock epoch;
+3. optionally SIGKILLs the active engine mid-stream (``--kill-active``)
+   once a fraction of the expected outputs have arrived, leaving the
+   replica process to detect the silence via heartbeat timeout, promote
+   from the shipped checkpoint chain, and replay over the sockets;
+4. waits for the consumers to reach the reference output counts and
+   judges the collected streams with
+   :func:`~repro.tools.verify_determinism.verify_trace_equivalence` —
+   byte-identical ``(seq, vt, payload)`` streams or a nonzero exit.
+
+The coordinator is itself a cluster member: it reuses
+:class:`~repro.net.server.ProcessRuntime` for its server half and pumps
+its own simulator, which hosts the Poisson producers — workload arrivals
+happen at exact simulated ticks drawn from the deployment's seeded RNG
+streams, so ingress timestamps match the pure-sim reference byte for
+byte.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import repro
+from repro.net import codec
+from repro.net.server import ProcessRuntime
+from repro.net.topology import (
+    ClusterSpec,
+    assign_addresses,
+    attach_workload,
+    build_deployment,
+    plan_cluster_nodes,
+    reference_run,
+    stream_of,
+)
+from repro.sim.kernel import ms
+from repro.tools.verify_determinism import verify_trace_equivalence
+
+#: Seconds each child gets to bind its socket and print READY.
+READY_TIMEOUT_S = 20.0
+
+#: Lead time between the GO broadcast and the shared tick-zero epoch,
+#: so control channels can connect before anyone's clock starts.
+GO_LEAD_S = 0.75
+
+
+class CoordinatorHost:
+    """The coordinator's share of the deployment: ingresses + consumers.
+
+    Engines become zombies (their processes own the live ones); the
+    producers stay here so the workload is generated at exact simulated
+    ticks from the deployment's seeded RNG streams.
+    """
+
+    def __init__(self, spec: ClusterSpec, runtime: ProcessRuntime):
+        self.deployment = build_deployment(spec, sim=runtime.sim)
+        for engine in self.deployment.engines.values():
+            engine.halt()
+        for ingress in self.deployment.ingresses.values():
+            ingress.network = runtime.transport
+            runtime.transport.register(ingress)
+        for consumer in self.deployment.consumers.values():
+            runtime.transport.register(consumer)
+        attach_workload(self.deployment, spec)
+        self.consumers = self.deployment.consumers
+
+    def start(self) -> None:
+        for producer in self.deployment.producers:
+            producer.start()
+
+    def counts(self) -> Dict[str, int]:
+        return {sink: len(c.effective_outputs)
+                for sink, c in self.consumers.items()}
+
+    def streams(self) -> Dict[str, List[Tuple]]:
+        return {sink: stream_of(c) for sink, c in self.consumers.items()}
+
+    def stutter(self) -> int:
+        return sum(c.stutter for c in self.consumers.values())
+
+
+class ChildProcess:
+    """One spawned server process with a READY-watching stdout reader."""
+
+    def __init__(self, name: str, cmd: List[str], env: Dict[str, str]):
+        self.name = name
+        self.proc = subprocess.Popen(
+            cmd, stdout=subprocess.PIPE, stderr=None, env=env,
+            text=True, bufsize=1,
+        )
+        self.ready = threading.Event()
+        self._reader = threading.Thread(
+            target=self._pump_stdout, name=f"stdout:{name}", daemon=True
+        )
+        self._reader.start()
+
+    def _pump_stdout(self) -> None:
+        assert self.proc.stdout is not None
+        for line in self.proc.stdout:
+            line = line.rstrip("\n")
+            if line == "READY":
+                self.ready.set()
+            elif line:
+                print(f"[{self.name}] {line}", file=sys.stderr, flush=True)
+
+    def kill(self) -> None:
+        self.proc.kill()
+
+    def reap(self, timeout: float = 5.0) -> Optional[int]:
+        try:
+            return self.proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.terminate()
+            try:
+                return self.proc.wait(timeout=2.0)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                return self.proc.wait()
+
+
+def free_port() -> int:
+    """An OS-assigned free localhost TCP port (best effort)."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def with_addresses(spec: ClusterSpec) -> ClusterSpec:
+    """A deep copy of ``spec`` with fresh localhost listen addresses."""
+    run_spec = ClusterSpec.from_json(spec.to_json())
+    ports = {name: ("127.0.0.1", free_port())
+             for name in plan_cluster_nodes(run_spec)}
+    assign_addresses(run_spec, ports)
+    return run_spec
+
+
+def spawn_children(spec: ClusterSpec, spec_path: Path
+                   ) -> Dict[str, ChildProcess]:
+    src_root = Path(repro.__file__).resolve().parents[1]
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (str(src_root) if not existing
+                         else str(src_root) + os.pathsep + existing)
+    children: Dict[str, ChildProcess] = {}
+    for name in plan_cluster_nodes(spec):
+        if name == "coordinator":
+            continue
+        cmd = [sys.executable, "-m", "repro.net.server",
+               "--spec", str(spec_path), "--name", name]
+        children[name] = ChildProcess(name, cmd, env)
+    return children
+
+
+async def run_networked(
+    spec: ClusterSpec,
+    ref_counts: Dict[str, int],
+    kill_engine: Optional[str] = None,
+    kill_fraction: float = 0.4,
+    deadline_s: float = 60.0,
+) -> Dict:
+    """One multi-process run; returns streams and diagnostics.
+
+    ``spec`` must already carry addresses (see :func:`with_addresses`).
+    With ``kill_engine`` set, that engine's process is SIGKILLed once
+    ``kill_fraction`` of the expected outputs have been delivered.
+    """
+    started = time.monotonic()
+    runtime = ProcessRuntime("coordinator", spec)
+    listen_host, listen_port = spec.addresses["proc:coordinator"][0]
+    server = await asyncio.start_server(
+        runtime._handle_conn, listen_host, listen_port
+    )
+    host = CoordinatorHost(spec, runtime)
+
+    spec_file = tempfile.NamedTemporaryFile(
+        "w", suffix=".json", prefix="cluster-spec-", delete=False
+    )
+    spec_path = Path(spec_file.name)
+    with spec_file:
+        spec_file.write(spec.to_json())
+
+    children = spawn_children(spec, spec_path)
+    result: Dict = {
+        "killed": None,
+        "complete": False,
+        "error": None,
+    }
+    loop = asyncio.get_running_loop()
+    pump: Optional[asyncio.Task] = None
+    try:
+        for child in children.values():
+            ok = await loop.run_in_executor(
+                None, child.ready.wait, READY_TIMEOUT_S
+            )
+            if not ok:
+                raise RuntimeError(
+                    f"child {child.name} not READY within "
+                    f"{READY_TIMEOUT_S}s (rc={child.proc.poll()})"
+                )
+
+        # GO: one shared epoch for every tick clock in the cluster.
+        t0 = time.time() + GO_LEAD_S
+        for name in children:
+            runtime.transport.channel_to(f"proc:{name}").enqueue(
+                runtime.peer_id, codec.GoSignal(t0=t0, speed=spec.speed)
+            )
+        runtime.clock.set_epoch(t0)
+        host.start()
+        pump = loop.create_task(runtime.rtk.run(), name="pump:coordinator")
+
+        total_expected = sum(ref_counts.values())
+        kill_at = max(1, int(total_expected * kill_fraction))
+        deadline = time.monotonic() + deadline_s
+        while time.monotonic() < deadline:
+            if pump.done():
+                pump.result()  # surfaces TransportError etc.
+                raise RuntimeError("coordinator pump exited early")
+            counts = host.counts()
+            if (kill_engine is not None and result["killed"] is None
+                    and sum(counts.values()) >= kill_at):
+                victim = children[f"engine-{kill_engine}"]
+                victim.kill()
+                result["killed"] = {
+                    "engine": kill_engine,
+                    "at_outputs": sum(counts.values()),
+                    "at_s": round(time.monotonic() - started, 3),
+                }
+            if counts == ref_counts:
+                result["complete"] = True
+                break
+            await asyncio.sleep(0.05)
+    except Exception as exc:  # noqa: BLE001 - reported in the result
+        result["error"] = f"{type(exc).__name__}: {exc}"
+    finally:
+        for name, child in children.items():
+            if child.proc.poll() is None:
+                try:
+                    runtime.transport.channel_to(f"proc:{name}").enqueue(
+                        runtime.peer_id, codec.Shutdown("run complete")
+                    )
+                except Exception:  # noqa: BLE001 - best-effort shutdown
+                    pass
+        await asyncio.sleep(0.3)
+        if pump is not None:
+            runtime.rtk.stop()
+            try:
+                await pump
+            except Exception as exc:  # noqa: BLE001
+                if result["error"] is None:
+                    result["error"] = f"{type(exc).__name__}: {exc}"
+        epoch_resets = sum(
+            ch.epoch_resets for ch in runtime.transport._channels.values()
+        )
+        await runtime.transport.close()
+        server.close()
+        await server.wait_closed()
+        exit_codes = {name: child.reap() for name, child in children.items()}
+        try:
+            spec_path.unlink()
+        except OSError:
+            pass
+
+    result.update(
+        counts=host.counts(),
+        streams=host.streams(),
+        stutter=host.stutter(),
+        elapsed_s=round(time.monotonic() - started, 3),
+        child_exit_codes=exit_codes,
+        epoch_resets=epoch_resets,
+    )
+    return result
+
+
+def build_spec(args: argparse.Namespace) -> ClusterSpec:
+    return ClusterSpec(
+        app="pipeline",
+        app_args={"window": args.window},
+        engines=[f"e{i}" for i in range(args.engines)],
+        replicas=args.replicas,
+        master_seed=args.seed,
+        speed=args.speed,
+        checkpoint_interval_ms=args.checkpoint_ms,
+        heartbeat_interval_ms=args.heartbeat_ms,
+        heartbeat_miss_limit=args.heartbeat_miss,
+        workload={"readings": {
+            "n_messages": args.messages,
+            "mean_interarrival_ms": args.mean_ms,
+        }},
+    )
+
+
+def _trial(label: str, spec: ClusterSpec, ref_counts: Dict[str, int],
+           kill_engine: Optional[str], kill_fraction: float,
+           deadline_s: float) -> Dict:
+    run_spec = with_addresses(spec)
+    return asyncio.run(run_networked(
+        run_spec, ref_counts, kill_engine=kill_engine,
+        kill_fraction=kill_fraction, deadline_s=deadline_s,
+    ))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net.cluster",
+        description="Run a TART deployment as a real multi-process "
+                    "cluster and verify its output against the "
+                    "simulated reference (optionally killing the "
+                    "active engine mid-stream).",
+    )
+    parser.add_argument("--engines", type=int, default=2)
+    parser.add_argument("--replicas", type=int, default=1, choices=(0, 1),
+                        help="passive replicas per engine (0 disables "
+                             "checkpointing and failover)")
+    parser.add_argument("--kill-active", action="store_true",
+                        help="SIGKILL an engine process mid-stream and "
+                             "require byte-identical recovered output")
+    parser.add_argument("--kill-engine", default=None,
+                        help="which engine to kill (default: first)")
+    parser.add_argument("--kill-fraction", type=float, default=0.4,
+                        help="kill once this fraction of expected "
+                             "outputs arrived")
+    parser.add_argument("--messages", type=int, default=240)
+    parser.add_argument("--mean-ms", type=float, default=1.0,
+                        help="mean Poisson interarrival (simulated ms)")
+    parser.add_argument("--window", type=int, default=10,
+                        help="aggregator report window")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--speed", type=float, default=0.1,
+                        help="simulated ticks per real nanosecond")
+    parser.add_argument("--checkpoint-ms", type=float, default=25.0)
+    parser.add_argument("--heartbeat-ms", type=float, default=10.0)
+    parser.add_argument("--heartbeat-miss", type=int, default=3)
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-run wall-clock deadline in seconds")
+    parser.add_argument("--skip-clean", action="store_true",
+                        help="skip the no-failure networked run")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable report on stdout")
+    args = parser.parse_args(argv)
+
+    if args.kill_active and args.replicas < 1:
+        parser.error("--kill-active requires --replicas >= 1")
+    kill_engine = None
+    if args.kill_active:
+        kill_engine = args.kill_engine or f"e{0}"
+        if kill_engine not in [f"e{i}" for i in range(args.engines)]:
+            parser.error(f"unknown --kill-engine {kill_engine!r}")
+
+    spec = build_spec(args)
+    span_s = spec.workload_span_ticks() / (1e9 * spec.speed)
+    deadline_s = args.timeout or max(30.0, 6.0 * span_s + 10.0)
+
+    print(f"reference: simulating {args.messages} messages "
+          f"({span_s:.1f}s of real time at speed {spec.speed}) ...",
+          file=sys.stderr, flush=True)
+    reference = reference_run(spec)
+    ref_counts = {sink: len(s) for sink, s in reference.items()}
+    print(f"reference: {sum(ref_counts.values())} outputs "
+          f"across {len(ref_counts)} sink(s)", file=sys.stderr, flush=True)
+
+    trials: List[Tuple[str, Optional[str]]] = []
+    if not args.skip_clean:
+        trials.append(("networked-clean", None))
+    if kill_engine is not None:
+        trials.append((f"networked-kill-{kill_engine}", kill_engine))
+    if not trials:
+        trials.append(("networked-clean", None))
+
+    report = {"reference_outputs": sum(ref_counts.values()), "trials": {}}
+    failed = False
+    for label, victim in trials:
+        print(f"{label}: launching "
+              f"{len(plan_cluster_nodes(spec)) - 1} child process(es) ...",
+              file=sys.stderr, flush=True)
+        result = _trial(label, spec, ref_counts, victim,
+                        args.kill_fraction, deadline_s)
+        verdict = verify_trace_equivalence(
+            reference, result.pop("streams"), trial=label,
+            require_complete=True,
+        )
+        ok = verdict.deterministic and result["complete"] and not result["error"]
+        failed = failed or not ok
+        result["deterministic"] = verdict.deterministic
+        result["ok"] = ok
+        report["trials"][label] = result
+        status = "OK" if ok else "FAIL"
+        print(f"{label}: {status} — {sum(result['counts'].values())}"
+              f"/{sum(ref_counts.values())} outputs in "
+              f"{result['elapsed_s']}s, stutter={result['stutter']}, "
+              f"epoch_resets={result['epoch_resets']}"
+              + (f", killed {result['killed']['engine']} after "
+                 f"{result['killed']['at_outputs']} outputs"
+                 if result["killed"] else ""),
+              file=sys.stderr, flush=True)
+        if result["error"]:
+            print(f"{label}: error: {result['error']}",
+                  file=sys.stderr, flush=True)
+        if not verdict.deterministic:
+            print(verdict.summary(), file=sys.stderr, flush=True)
+
+    if args.as_json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    print("cluster: " + ("all trials byte-identical to the simulated "
+                         "reference" if not failed else "FAILED"),
+          file=sys.stderr, flush=True)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

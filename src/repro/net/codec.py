@@ -1,0 +1,251 @@
+"""Canonical binary wire format.
+
+Every frame on a :mod:`repro.net` socket is::
+
+    uint32   length    -- big-endian byte count of everything after it
+    uint8    version   -- WIRE_VERSION; receivers reject mismatches
+    uint8    frame tag -- FRAME_* below
+    bytes    body      -- canonical cpser-encoded dict
+
+The body encoding reuses :mod:`repro.runtime.checkpoint` (sorted dict
+keys, tagged bytes/tuples), so identical values always produce identical
+bytes — the property the determinism tests assert at the byte level
+carries over to the wire unchanged.
+
+Frame tags (handshake and transport control):
+
+====================  ===  =================================================
+``FRAME_HELLO``       1    opens a channel: ``{"peer", "dst", "proto"}``
+``FRAME_WELCOME``     2    accepts: ``{"incarnation"}`` of the hosted node
+``FRAME_NOT_HERE``    3    the destination node is not hosted here (yet)
+``FRAME_ITEM``        4    one message: ``{"seq", "src", "dst", "msg"}``
+``FRAME_ACK``         5    cumulative receipt: ``{"upto"}`` (next expected)
+====================  ===  =================================================
+
+Message type tags (the ``"k"`` of an ITEM's ``"msg"`` dict) are assigned
+from :data:`repro.core.message.WIRE_MESSAGE_TYPES` plus the transport
+types defined here; see :data:`MESSAGE_TAGS`.  Tags are permanent: new
+types append, existing tags are never renumbered.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple, Type
+
+from repro.core.message import WIRE_MESSAGE_TYPES, message_fields
+from repro.errors import TransportError
+from repro.runtime import checkpoint as cpser
+from repro.runtime.detector import Heartbeat
+
+#: Version byte carried by every frame.  Bump on incompatible changes.
+WIRE_VERSION = 1
+
+#: Hard cap on one frame's byte count (a corrupt length prefix must not
+#: make a reader allocate gigabytes).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+FRAME_HELLO = 1
+FRAME_WELCOME = 2
+FRAME_NOT_HERE = 3
+FRAME_ITEM = 4
+FRAME_ACK = 5
+
+_FRAME_TAGS = {FRAME_HELLO, FRAME_WELCOME, FRAME_NOT_HERE,
+               FRAME_ITEM, FRAME_ACK}
+
+
+class CodecError(TransportError):
+    """A frame or message could not be encoded or decoded."""
+
+
+# ----------------------------------------------------------------------
+# Transport-level message types (cluster control; never seen by engines'
+# virtual-time logic except FenceRequest, which halts them)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GoSignal:
+    """Coordinator's start barrier: all processes begin at wall-clock
+    ``t0`` (unix seconds) with the shared tick ``speed``."""
+
+    t0: float
+    speed: float
+
+
+@dataclass(frozen=True)
+class Shutdown:
+    """Coordinator asks a process to exit cleanly."""
+
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class FenceRequest:
+    """Best-effort fence: halt the named engine (false-positive safety).
+
+    Sent by the replica-side recovery sequencing to the *primary*
+    address of a declared-dead engine before its replica is promoted, so
+    a merely-slow engine cannot keep emitting under a promoted identity.
+    """
+
+    engine_id: str
+
+
+#: tag -> class for everything that may appear inside an ITEM frame.
+#: Tags 1..N cover the core message types in their registry order;
+#: transport types occupy a reserved block from 32.
+MESSAGE_TAGS: Dict[int, Type] = {
+    **{i + 1: cls for i, cls in enumerate(WIRE_MESSAGE_TYPES)},
+    31: Heartbeat,
+    32: GoSignal,
+    33: Shutdown,
+    34: FenceRequest,
+}
+
+_TAG_OF: Dict[Type, int] = {cls: tag for tag, cls in MESSAGE_TAGS.items()}
+
+
+def message_tag(msg: Any) -> int:
+    """The permanent wire tag of one message instance (by exact type)."""
+    tag = _TAG_OF.get(type(msg))
+    if tag is None:
+        raise CodecError(f"not a wire message type: {type(msg).__name__}")
+    return tag
+
+
+def encode_message(msg: Any) -> Dict[str, Any]:
+    """Encode one message to its canonical wire dict ``{"k", "f"}``."""
+    return {"k": message_tag(msg), "f": message_fields(msg)}
+
+
+def decode_message(wire: Dict[str, Any]) -> Any:
+    """Inverse of :func:`encode_message`."""
+    try:
+        tag = wire["k"]
+        fields = wire["f"]
+    except (TypeError, KeyError) as exc:
+        raise CodecError(f"malformed wire message: {wire!r}") from exc
+    cls = MESSAGE_TAGS.get(tag)
+    if cls is None:
+        raise CodecError(f"unknown message tag {tag!r}")
+    try:
+        return cls(**fields)
+    except TypeError as exc:
+        raise CodecError(
+            f"bad fields for {cls.__name__}: {sorted(fields)}"
+        ) from exc
+
+
+def encode_message_bytes(msg: Any) -> bytes:
+    """Canonical bytes of one message (used by the property tests and
+    the codec micro-benchmark; frames embed the dict form directly)."""
+    return cpser.dumps(encode_message(msg))
+
+
+def decode_message_bytes(blob: bytes) -> Any:
+    """Inverse of :func:`encode_message_bytes`."""
+    return decode_message(cpser.loads(blob))
+
+
+# ----------------------------------------------------------------------
+# Frames
+# ----------------------------------------------------------------------
+
+
+def encode_frame(frame_tag: int, body: Dict[str, Any]) -> bytes:
+    """One full frame including the length prefix."""
+    if frame_tag not in _FRAME_TAGS:
+        raise CodecError(f"unknown frame tag {frame_tag!r}")
+    payload = bytes([WIRE_VERSION, frame_tag]) + cpser.dumps(body)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise CodecError(f"frame too large: {len(payload)} bytes")
+    return _LEN.pack(len(payload)) + payload
+
+
+def decode_frame_payload(payload: bytes) -> Tuple[int, Dict[str, Any]]:
+    """Decode a frame's payload (everything after the length prefix)."""
+    if len(payload) < 2:
+        raise CodecError("truncated frame")
+    version, frame_tag = payload[0], payload[1]
+    if version != WIRE_VERSION:
+        raise CodecError(
+            f"wire version mismatch: got {version}, expect {WIRE_VERSION}"
+        )
+    if frame_tag not in _FRAME_TAGS:
+        raise CodecError(f"unknown frame tag {frame_tag}")
+    body = cpser.loads(payload[2:])
+    if not isinstance(body, dict):
+        raise CodecError("frame body is not a dict")
+    return frame_tag, body
+
+
+def encode_hello(peer_id: str, dst_node: str) -> bytes:
+    return encode_frame(FRAME_HELLO, {"peer": peer_id, "dst": dst_node,
+                                      "proto": WIRE_VERSION})
+
+
+def encode_welcome(incarnation: str) -> bytes:
+    return encode_frame(FRAME_WELCOME, {"incarnation": incarnation})
+
+
+def encode_not_here() -> bytes:
+    return encode_frame(FRAME_NOT_HERE, {})
+
+
+def encode_item(seq: int, src: str, dst: str, msg: Any) -> bytes:
+    return encode_frame(FRAME_ITEM, {"seq": seq, "src": src, "dst": dst,
+                                     "msg": encode_message(msg)})
+
+
+def encode_ack(upto: int) -> bytes:
+    return encode_frame(FRAME_ACK, {"upto": upto})
+
+
+class FrameSplitter:
+    """Incremental splitter: feed raw bytes, get complete frames out.
+
+    Used by tests and anywhere a non-asyncio byte stream needs framing;
+    the asyncio path uses :func:`read_frame` instead.
+    """
+
+    def __init__(self):
+        self._buf = bytearray()
+
+    def feed(self, data: bytes):
+        """Consume ``data``; yield ``(frame_tag, body)`` per frame."""
+        self._buf.extend(data)
+        frames = []
+        while True:
+            if len(self._buf) < _LEN.size:
+                return frames
+            (length,) = _LEN.unpack_from(self._buf)
+            if length > MAX_FRAME_BYTES:
+                raise CodecError(f"frame too large: {length} bytes")
+            if len(self._buf) < _LEN.size + length:
+                return frames
+            payload = bytes(self._buf[_LEN.size:_LEN.size + length])
+            del self._buf[:_LEN.size + length]
+            frames.append(decode_frame_payload(payload))
+
+
+async def read_frame(reader) -> Optional[Tuple[int, Dict[str, Any]]]:
+    """Read one frame from an asyncio stream; ``None`` on clean EOF."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise CodecError(f"frame too large: {length} bytes")
+    try:
+        payload = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionError):
+        return None
+    return decode_frame_payload(payload)

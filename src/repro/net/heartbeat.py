@@ -1,0 +1,110 @@
+"""Replica-side process: heartbeat detection and over-the-wire failover.
+
+A replica process hosts one :class:`~repro.runtime.replica.PassiveReplica`
+and watches its engine with the stock
+:class:`~repro.runtime.detector.HeartbeatDetector` — fed by real
+heartbeats that crossed a socket.  When the timeout expires, the
+*unchanged* :class:`~repro.runtime.recovery.RecoveryManager` sequences
+recovery; this module only supplies the deployment facade it drives:
+
+* the "failed engine" it halts is a
+  :class:`~repro.net.node.RemoteEngineHandle`, whose halt is a fence
+  frame fired at the dead engine's primary address;
+* ``rebuild_engine`` constructs the successor engine *in this process*
+  from the locally shipped checkpoint chain, rewires it onto the net
+  transport, and re-registers the engine's node id here — bumping its
+  incarnation, which is what makes every peer's channel epoch-reset and
+  re-route to this process;
+* ``begin_recovery`` then sends real ReplayRequests over the sockets to
+  the ingresses and peer engines, which replay from their logs and
+  retained output buffers exactly as they would in simulation.
+
+Known restriction: determinism-fault logs are process-local, so the net
+runtime must run with ``calibrate=False`` (the spec's engine config
+default) — recalibration events recorded on the primary would be absent
+from the replica's replay.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.net.node import NetTransport, RemoteEngineHandle
+from repro.net.topology import ClusterSpec, build_deployment
+from repro.runtime.detector import HeartbeatDetector
+from repro.runtime.engine import ExecutionEngine
+from repro.runtime.recovery import RecoveryManager
+from repro.sim.kernel import Simulator
+
+
+class ReplicaHost:
+    """One process hosting one passive replica (and its successor engine).
+
+    Duck-types the deployment surface :class:`RecoveryManager` and
+    :class:`HeartbeatDetector` use: ``engines``, ``network``, ``sim``,
+    ``metrics``, ``rebuild_engine``.
+    """
+
+    def __init__(self, spec: ClusterSpec, engine_id: str,
+                 sim: Simulator, transport: NetTransport):
+        self.spec = spec
+        self.engine_id = engine_id
+        self.sim = sim
+        self.network = transport
+        self.deployment = build_deployment(spec, sim=sim)
+        self.metrics = self.deployment.metrics
+        for engine in self.deployment.engines.values():
+            engine.halt()  # all zombies until this replica promotes one
+
+        #: What the recovery manager sees as "the engines": the watched
+        #: engine only, represented by its remote handle until promotion.
+        self.engines: Dict[str, object] = {
+            engine_id: RemoteEngineHandle(engine_id, spec, transport.peer_id)
+        }
+        self.recovery = RecoveryManager(self)
+
+        self.replica = self.deployment.replicas[engine_id]
+        self.replica.network = transport
+        transport.register(self.replica)
+
+        config = self.deployment.engines[engine_id].config
+        self.detector = HeartbeatDetector(
+            sim, self.recovery, engine_id,
+            config.heartbeat_interval, config.heartbeat_miss_limit,
+        )
+        self.replica.detector = self.detector
+
+    def start(self) -> None:
+        """Arm the heartbeat deadline (post-GO)."""
+        self.detector.watch()
+
+    # -- RecoveryManager callback ---------------------------------------
+    def rebuild_engine(self, engine_id: str) -> ExecutionEngine:
+        """Promote: build the successor engine here, replay over the net.
+
+        Mirrors :meth:`repro.runtime.app.Deployment.rebuild_engine`, with
+        the networked differences called out inline.
+        """
+        dep = self.deployment
+        replica = self.replica
+        engine = dep._build_engine(
+            engine_id, cp_seq_start=max(0, replica.last_cp_seq)
+        )
+        # Rewire onto the net transport *before* anything can transmit.
+        engine.network = self.network
+        from repro.net.node import disable_external_clock_bound
+
+        disable_external_clock_bound(engine)
+        if replica.has_checkpoint:
+            engine.restore_components(replica.materialize())
+        else:
+            for runtime in engine.runtimes.values():
+                if engine.fault_manager is not None:
+                    engine.fault_manager.replay_into(runtime)
+        # Registering the engine's node id here bumps its incarnation:
+        # peers' channels epoch-reset on the next WELCOME and re-route.
+        self.engines[engine_id] = engine
+        self.network.register(engine)
+        engine.start()  # local heartbeats now feed the local detector
+        engine.begin_recovery()
+        return engine

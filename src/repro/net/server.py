@@ -1,0 +1,223 @@
+"""Process runtime: TCP server + simulator pump for one cluster member.
+
+Runnable as ``python -m repro.net.server --spec cluster.json --name
+engine-e0`` (the :mod:`repro.net.cluster` coordinator spawns these).
+Each process:
+
+1. binds the listen address the spec assigns to its ``proc:<name>``
+   control node and prints ``READY``;
+2. waits for the coordinator's :class:`~repro.net.codec.GoSignal`, which
+   carries the shared wall-clock epoch ``t0`` — every process maps real
+   time to ticks from the same origin;
+3. starts its host (engine or replica) and pumps the simulator with
+   :class:`~repro.net.clock.RealtimeKernel` until a
+   :class:`~repro.net.codec.Shutdown` arrives.
+
+Inbound connection protocol (the receiving half of
+:class:`~repro.net.channel.OutboundChannel`): HELLO is answered with
+WELCOME carrying the *incarnation* of the hosted destination node, or
+NOT_HERE when the node is not hosted here or no longer alive — the
+latter also applies mid-stream: a connection whose destination died is
+simply hung up, which forces the sender to re-handshake and cycle to
+the node's next address candidate (where its promoted successor lives).
+
+Receiver-side dedup state is keyed by (sender peer, destination node,
+destination *incarnation*): a promoted node starts with a clean slate,
+matching the sender's channel-sequence restart on epoch reset, while
+same-incarnation reconnect replays are deduplicated exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import uuid
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.net import codec
+from repro.net.clock import RealtimeClock, RealtimeKernel
+from repro.net.heartbeat import ReplicaHost
+from repro.net.node import ControlNode, EngineHost, NetTransport
+from repro.net.topology import ClusterSpec
+from repro.sim.kernel import Simulator
+
+
+class ProcessRuntime:
+    """Sockets, pump, and hosting state for one cluster process."""
+
+    def __init__(self, name: str, spec: ClusterSpec):
+        self.name = name
+        self.spec = spec
+        self.sim = Simulator()
+        self.clock = RealtimeClock(spec.speed)
+        self.peer_id = f"{name}:{uuid.uuid4().hex[:8]}"
+        self.transport = NetTransport(self.sim, spec, self.peer_id)
+        self.rtk = RealtimeKernel(self.sim, self.clock,
+                                  congestion_check=self.transport.congested)
+        self.control = ControlNode(f"proc:{name}")
+        self.transport.register(self.control)
+        #: (peer, dst node, dst incarnation) -> next expected channel seq.
+        self._recv_expected: Dict[Tuple[str, str, str], int] = {}
+        self.go = asyncio.Event()
+        self.go_t0: Optional[float] = None
+        self.stopping = asyncio.Event()
+        self.host = None
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- inbound protocol ------------------------------------------------
+    async def _handle_conn(self, reader, writer) -> None:
+        try:
+            frame = await asyncio.wait_for(codec.read_frame(reader),
+                                           timeout=10.0)
+            if frame is None or frame[0] != codec.FRAME_HELLO:
+                return
+            peer = str(frame[1].get("peer", ""))
+            dst = str(frame[1].get("dst", ""))
+            node = self.transport.local_node(dst)
+            if node is None or not node.alive:
+                writer.write(codec.encode_not_here())
+                await writer.drain()
+                return
+            incarnation = self.transport.incarnations[dst]
+            writer.write(codec.encode_welcome(incarnation))
+            await writer.drain()
+            await self._item_loop(reader, writer, peer, (peer, dst,
+                                                         incarnation))
+        except (ConnectionError, OSError, asyncio.TimeoutError,
+                codec.CodecError):
+            pass
+        except asyncio.CancelledError:
+            pass  # loop teardown cancels open connection handlers
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass
+
+    async def _item_loop(self, reader, writer, peer: str, key) -> None:
+        while True:
+            frame = await codec.read_frame(reader)
+            if frame is None:
+                return
+            tag, body = frame
+            if tag != codec.FRAME_ITEM:
+                continue
+            dst_node = str(body.get("dst", ""))
+            target = self.transport.local_node(dst_node)
+            if target is None or not target.alive:
+                # Destination died under this connection: hang up so the
+                # sender re-handshakes and finds the promoted successor
+                # at the next address candidate.
+                return
+            seq = int(body.get("seq", 0))
+            expected = self._recv_expected.get(key, 0)
+            if seq >= expected:
+                # Fresh (seq == expected) — or the sender is ahead of
+                # us, which only a lost dedup entry can cause: resync to
+                # the sender rather than black-holing its stream.
+                self._recv_expected[key] = seq + 1
+                msg = codec.decode_message(body.get("msg"))
+                if not self._control_message(msg):
+                    self.transport.note_item_source(
+                        str(body.get("src", "")), peer
+                    )
+                    self.rtk.inject(
+                        lambda m=msg, d=dst_node: self.transport.deliver(d, m)
+                    )
+            writer.write(codec.encode_ack(self._recv_expected.get(key, 0)))
+            await writer.drain()
+
+    def _control_message(self, msg) -> bool:
+        """Handle cluster-control messages synchronously.
+
+        GO and Shutdown cannot go through the pump — it is not running
+        before GO and must be stopped by Shutdown.  The fence is also
+        immediate: its entire point is to silence the engine *now*, not
+        at the pump's convenience.
+        """
+        if isinstance(msg, codec.GoSignal):
+            self.go_t0 = msg.t0
+            self.clock.speed = float(msg.speed)
+            self.go.set()
+            return True
+        if isinstance(msg, codec.Shutdown):
+            self.stopping.set()
+            return True
+        if isinstance(msg, codec.FenceRequest):
+            node = self.transport.local_node(msg.engine_id)
+            if node is not None and node.alive:
+                node.halt()
+            return True
+        return False
+
+    # -- lifecycle -------------------------------------------------------
+    async def serve(self, host_factory: Optional[Callable] = None,
+                    announce: Callable[[str], None] = print) -> None:
+        """Run the full process lifecycle (returns after Shutdown)."""
+        listen_host, listen_port = self.spec.addresses[f"proc:{self.name}"][0]
+        self._server = await asyncio.start_server(
+            self._handle_conn, listen_host, listen_port
+        )
+        if host_factory is not None:
+            self.host = host_factory(self)
+        announce("READY")
+        await self.go.wait()
+        self.clock.set_epoch(self.go_t0)
+        if self.host is not None:
+            self.host.start()
+        pump = asyncio.get_running_loop().create_task(
+            self.rtk.run(), name=f"pump:{self.name}"
+        )
+        await self.stopping.wait()
+        # Grace period: let in-flight frames and acks drain.
+        await asyncio.sleep(0.1)
+        self.rtk.stop()
+        await pump
+        await self.transport.close()
+        self._server.close()
+        await self._server.wait_closed()
+
+
+def host_factory_for(name: str, spec: ClusterSpec) -> Callable:
+    """The host constructor for a process name (engine-X / replica-X)."""
+    if name.startswith("engine-"):
+        engine_id = name[len("engine-"):]
+        return lambda rt: EngineHost(spec, engine_id, rt.sim, rt.transport)
+    if name.startswith("replica-"):
+        engine_id = name[len("replica-"):]
+        return lambda rt: ReplicaHost(spec, engine_id, rt.sim, rt.transport)
+    raise SystemExit(f"unknown process role in name {name!r} "
+                     f"(expect engine-<id> or replica-<id>)")
+
+
+def _announce(line: str) -> None:
+    print(line, flush=True)
+
+
+async def run_process(spec: ClusterSpec, name: str) -> None:
+    runtime = ProcessRuntime(name, spec)
+    await runtime.serve(host_factory_for(name, spec), announce=_announce)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net.server",
+        description="Host one engine or replica process of a repro.net "
+                    "cluster (spawned by repro.net.cluster).",
+    )
+    parser.add_argument("--spec", required=True,
+                        help="path to the cluster spec JSON")
+    parser.add_argument("--name", required=True,
+                        help="process name from the spec layout, "
+                             "e.g. engine-e0 or replica-e0")
+    args = parser.parse_args(argv)
+    spec = ClusterSpec.from_json(Path(args.spec).read_text())
+    asyncio.run(run_process(spec, args.name))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,235 @@
+"""Cluster topology: the spec every process derives its world from.
+
+A :class:`ClusterSpec` is a JSON document describing one networked
+deployment: the application, placement, seeds, timing knobs, workload,
+and the address of every logical node.  Each process builds the *same*
+:class:`~repro.runtime.app.Deployment` from it (wire ids are assigned in
+declaration order, so identical specs yield identical wire tables in
+every process), then keeps only the pieces it actually hosts.
+
+The spec also fully determines the workload: producers draw arrival
+gaps and payloads from the deployment's named RNG streams, so a pure
+in-process simulation of the same spec (:func:`reference_run`) produces
+the exact output stream the networked cluster must reproduce — the
+simulator doubles as the determinism oracle for the real deployment.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.apps.pipeline import build_pipeline_app, reading_factory
+from repro.errors import WiringError
+from repro.runtime.app import Application, Deployment
+from repro.runtime.engine import EngineConfig
+from repro.runtime.placement import Placement
+from repro.sim.kernel import Simulator, ms
+
+
+@dataclass
+class ClusterSpec:
+    """Everything a process needs to instantiate its share of a cluster."""
+
+    #: Application name in :data:`APP_BUILDERS`.
+    app: str = "pipeline"
+    #: Keyword arguments for the application builder.
+    app_args: Dict = field(default_factory=dict)
+    #: Engine ids in order (e0, e1, ...).
+    engines: List[str] = field(default_factory=lambda: ["e0", "e1"])
+    #: Component -> engine id.
+    placement: Dict[str, str] = field(default_factory=dict)
+    #: Passive replicas per engine (0 disables checkpoint/heartbeat).
+    replicas: int = 1
+    master_seed: int = 7
+    #: Simulated ticks per real nanosecond (0.1 => 1 ms-tick per 10 ms).
+    speed: float = 0.1
+    checkpoint_interval_ms: float = 25.0
+    full_checkpoint_every: int = 4
+    heartbeat_interval_ms: float = 10.0
+    heartbeat_miss_limit: int = 3
+    #: input_id -> workload parameters for its Poisson producer.
+    workload: Dict[str, Dict] = field(default_factory=dict)
+    #: node id -> ordered [host, port] candidates (primary first).
+    addresses: Dict[str, List[Tuple[str, int]]] = field(default_factory=dict)
+
+    # -- serialization --------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(dataclasses.asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ClusterSpec":
+        raw = json.loads(text)
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(raw) - known
+        if unknown:
+            raise WiringError(f"unknown cluster spec keys: {sorted(unknown)}")
+        spec = cls(**raw)
+        spec.addresses = {
+            node: [(host, int(port)) for host, port in addrs]
+            for node, addrs in spec.addresses.items()
+        }
+        return spec
+
+    # -- derived --------------------------------------------------------
+    def replica_node(self, engine_id: str) -> str:
+        return f"replica:{engine_id}"
+
+    def engine_config(self) -> EngineConfig:
+        if self.replicas <= 0:
+            return EngineConfig()
+        return EngineConfig(
+            checkpoint_interval=ms(self.checkpoint_interval_ms),
+            full_checkpoint_every=self.full_checkpoint_every,
+            heartbeat_interval=ms(self.heartbeat_interval_ms),
+            heartbeat_miss_limit=self.heartbeat_miss_limit,
+        )
+
+    def workload_span_ticks(self) -> int:
+        """Expected ticks for the slowest producer to finish emitting."""
+        span = 0
+        for params in self.workload.values():
+            span = max(span, int(params["n_messages"]
+                                 * ms(params["mean_interarrival_ms"])))
+        return span
+
+
+#: name -> Application builder.  Extend to run other apps on the net
+#: runtime; builders take the spec's ``app_args`` as keywords.
+APP_BUILDERS = {
+    "pipeline": build_pipeline_app,
+}
+
+
+def build_application(spec: ClusterSpec) -> Application:
+    builder = APP_BUILDERS.get(spec.app)
+    if builder is None:
+        raise WiringError(f"unknown application {spec.app!r} "
+                          f"(known: {sorted(APP_BUILDERS)})")
+    return builder(**spec.app_args)
+
+
+def contiguous_placement(component_names: List[str],
+                         engine_ids: List[str]) -> Dict[str, str]:
+    """Split a component chain into contiguous groups, one per engine.
+
+    Keeps pipeline neighbours co-located (round-robin would cut every
+    wire), while still crossing engine boundaries between groups — the
+    interesting case for checkpoint/replay across real sockets.
+    """
+    if not engine_ids:
+        raise WiringError("no engines to place onto")
+    n = len(component_names)
+    k = min(len(engine_ids), n)
+    placement = {}
+    for i, name in enumerate(component_names):
+        placement[name] = engine_ids[min(i * k // n, k - 1)]
+    return placement
+
+
+def build_deployment(spec: ClusterSpec,
+                     sim: Optional[Simulator] = None) -> Deployment:
+    """The full deployment object for this spec.
+
+    Every process calls this with its own simulator and then rewires the
+    parts it hosts onto the net transport; building the whole thing
+    everywhere is what guarantees identical wire ids, estimators, and
+    RNG streams across the cluster.
+    """
+    app = build_application(spec)
+    placement = dict(spec.placement) or contiguous_placement(
+        app.component_names(), spec.engines
+    )
+    return Deployment(
+        app, Placement(placement),
+        engine_config=spec.engine_config(),
+        sim=sim,
+        master_seed=spec.master_seed,
+    )
+
+
+def attach_workload(dep: Deployment, spec: ClusterSpec) -> None:
+    """Attach the spec's Poisson producers to a deployment.
+
+    Producer randomness comes from the deployment's named streams
+    (``producer:<input_id>``), so any two deployments built from the
+    same spec — simulated or networked — generate byte-identical
+    workloads.
+    """
+    for input_id, params in spec.workload.items():
+        factory = reading_factory(
+            n_devices=int(params.get("n_devices", 8)),
+            n_fields=int(params.get("n_fields", 4)),
+        )
+        dep.add_poisson_producer(
+            input_id, factory,
+            mean_interarrival=ms(params["mean_interarrival_ms"]),
+            max_messages=int(params["n_messages"]),
+        )
+
+
+def stream_of(consumer) -> List[Tuple]:
+    """A consumer's effective output as comparable (seq, vt, payload)."""
+    from repro.tools.verify_determinism import freeze_payload
+
+    return [(seq, vt, freeze_payload(payload))
+            for seq, vt, payload, _t in consumer.effective_outputs]
+
+
+def reference_run(spec: ClusterSpec) -> Dict[str, List[Tuple]]:
+    """Run the spec purely in simulation; return per-sink output streams.
+
+    The cutoff leaves a generous drain margin after the last scheduled
+    arrival, so on any non-overloaded spec the streams are complete —
+    and they are the byte-level ground truth for the networked runs.
+    """
+    dep = build_deployment(spec)
+    attach_workload(dep, spec)
+    dep.run(until=2 * spec.workload_span_ticks() + ms(500))
+    return {sink: stream_of(consumer)
+            for sink, consumer in dep.consumers.items()}
+
+
+def plan_cluster_nodes(spec: ClusterSpec) -> Dict[str, List[str]]:
+    """process name -> node ids it hosts at startup.
+
+    Processes: ``coordinator`` (every ingress and consumer), one
+    ``engine-<id>`` per engine, one ``replica-<id>`` per engine when
+    replicas are enabled.  Every process additionally hosts a
+    ``proc:<name>`` control node for the GO/shutdown barrier.
+    """
+    dep = build_deployment(spec)
+    layout: Dict[str, List[str]] = {
+        "coordinator": (
+            [ing.node_id for ing in dep.ingresses.values()]
+            + list(dep.consumers)
+        )
+    }
+    for engine_id in spec.engines:
+        layout[f"engine-{engine_id}"] = [engine_id]
+        if spec.replicas > 0:
+            layout[f"replica-{engine_id}"] = [spec.replica_node(engine_id)]
+    return layout
+
+
+def assign_addresses(spec: ClusterSpec,
+                     listen_ports: Dict[str, Tuple[str, int]]) -> None:
+    """Fill ``spec.addresses`` from per-process listen addresses.
+
+    ``listen_ports`` maps process name -> (host, port).  Engine nodes
+    get two candidates — the engine process first, then the replica
+    process that may promote them; every other node lives in exactly one
+    process.
+    """
+    addresses: Dict[str, List[Tuple[str, int]]] = {}
+    for process, nodes in plan_cluster_nodes(spec).items():
+        for node in nodes:
+            addresses.setdefault(node, []).append(listen_ports[process])
+        addresses[f"proc:{process}"] = [listen_ports[process]]
+    for engine_id in spec.engines:
+        replica_proc = f"replica-{engine_id}"
+        if replica_proc in listen_ports:
+            addresses[engine_id].append(listen_ports[replica_proc])
+    spec.addresses = addresses

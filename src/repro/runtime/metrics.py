@@ -62,12 +62,22 @@ class MetricSet:
         return sum(self._latencies) / len(self._latencies) / TICKS_PER_US
 
     def latency_percentile_us(self, q: float) -> float:
-        """The q-percentile (0..100) latency in microseconds."""
+        """The q-percentile (0..100) latency in microseconds.
+
+        Uses linear interpolation between closest ranks (the same
+        definition as ``numpy.percentile``'s default), so small sample
+        sets are not biased by nearest-rank rounding.
+        """
         if not self._latencies:
             return float("nan")
         ordered = sorted(self._latencies)
-        idx = min(len(ordered) - 1, max(0, int(round(q / 100.0 * (len(ordered) - 1)))))
-        return ordered[idx] / TICKS_PER_US
+        rank = min(1.0, max(0.0, q / 100.0)) * (len(ordered) - 1)
+        lo = int(rank)
+        frac = rank - lo
+        value = ordered[lo]
+        if frac:
+            value += (ordered[lo + 1] - ordered[lo]) * frac
+        return value / TICKS_PER_US
 
     def latency_std_us(self) -> float:
         """Standard deviation of latency in microseconds."""

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.errors import RecoveryError
+from repro.errors import FailoverInProgressError, RecoveryError
 from repro.sim.kernel import ms
 
 
@@ -40,11 +40,18 @@ class RecoveryManager:
         noticed (heartbeat timeout); during it, arriving traffic for the
         dead engine is dropped and external inputs accumulate in their
         stable logs.
+
+        A second report for an engine already failing over (the detector
+        and the injector can race to declare the same death) raises a
+        structured :class:`~repro.errors.FailoverInProgressError`
+        carrying the engine id and the in-progress timestamp, so callers
+        can recognise the benign duplicate and drop it.
         """
         if engine_id not in self.deployment.engines:
             raise RecoveryError(f"unknown engine {engine_id!r}")
         if engine_id in self._in_progress:
-            raise RecoveryError(f"{engine_id}: failover already in progress")
+            raise FailoverInProgressError(engine_id,
+                                          self._in_progress[engine_id])
         # Fencing: whatever declared the engine failed (injector or
         # heartbeat timeout), make sure the old incarnation is actually
         # silenced before a successor is built — a false-positive

@@ -74,18 +74,82 @@ class DeterminismReport:
 
 def _vt_stream(deployment) -> Dict[str, List[Tuple]]:
     return {
-        sink: [(seq, vt, _freeze(payload)) for seq, vt, payload, _t in
+        sink: [(seq, vt, freeze_payload(payload)) for seq, vt, payload, _t in
                consumer.effective_outputs]
         for sink, consumer in deployment.consumers.items()
     }
 
 
-def _freeze(payload):
+def freeze_payload(payload):
+    """A hashable, order-insensitive-for-dicts view of one payload.
+
+    Used for comparing output streams across trials *and* across
+    processes: payloads that cross a :mod:`repro.net` socket come back
+    as plain dicts/lists whatever they started as, so comparisons must
+    not depend on container identity or dict insertion order.
+    """
     if isinstance(payload, dict):
-        return tuple(sorted((k, _freeze(v)) for k, v in payload.items()))
+        return tuple(sorted((k, freeze_payload(v))
+                            for k, v in payload.items()))
     if isinstance(payload, (list, tuple)):
-        return tuple(_freeze(v) for v in payload)
+        return tuple(freeze_payload(v) for v in payload)
     return payload
+
+
+def compare_streams(
+    reference: Dict[str, List[Tuple]],
+    observed: Dict[str, List[Tuple]],
+    trial: str,
+    require_complete: bool = False,
+) -> List[Divergence]:
+    """Diff two per-sink output streams of ``(seq, vt, frozen payload)``.
+
+    The delivered prefix must match element-for-element.  With
+    ``require_complete`` every reference output must also be present
+    (networked acceptance runs wait for completion first, so a short
+    stream there is a real loss); without it a short tail is tolerated
+    down to half the reference length, since perturbation trials may
+    strand undelivered outputs at the simulation cutoff.
+    """
+    divergences: List[Divergence] = []
+    for sink, want in reference.items():
+        got = observed.get(sink, [])
+        n = min(len(want), len(got))
+        for i in range(n):
+            if want[i] != got[i]:
+                divergences.append(Divergence(trial, sink, i,
+                                              want[i], got[i]))
+                break
+        if require_complete:
+            if len(got) != len(want):
+                divergences.append(Divergence(
+                    trial, sink, n, f"{len(want)} outputs",
+                    f"{len(got)} outputs"))
+        elif len(got) < len(want) * 0.5:
+            divergences.append(Divergence(
+                trial, sink, n, f"{len(want)} outputs",
+                f"only {len(got)} outputs"))
+    return divergences
+
+
+def verify_trace_equivalence(
+    reference: Dict[str, List[Tuple]],
+    observed: Dict[str, List[Tuple]],
+    trial: str = "networked",
+    require_complete: bool = True,
+) -> DeterminismReport:
+    """Judge a captured output trace against a reference trace.
+
+    This is the entry point for traces that did not come from an
+    in-process run — e.g. consumer streams collected by
+    ``repro.net.cluster`` from a real multi-process deployment.  Both
+    arguments map sink name to ``(seq, vt, frozen payload)`` lists as
+    produced by :func:`freeze_payload`-based capture.
+    """
+    compared = sum(len(v) for v in reference.values())
+    divergences = compare_streams(reference, observed, trial,
+                                  require_complete=require_complete)
+    return DeterminismReport([trial], compared, divergences)
 
 
 def verify_determinism(
@@ -141,18 +205,5 @@ def verify_determinism(
         perturb(deployment)
         deployment.run(until=until)
         observed = _vt_stream(deployment)
-        for sink, want in reference.items():
-            got = observed.get(sink, [])
-            # Policy/jitter changes may strand a short tail at cutoff;
-            # the delivered prefix must match exactly.
-            n = min(len(want), len(got))
-            for i in range(n):
-                if want[i] != got[i]:
-                    divergences.append(Divergence(name, sink, i,
-                                                  want[i], got[i]))
-                    break
-            if len(got) < len(want) * 0.5:
-                divergences.append(Divergence(
-                    name, sink, n, f"{len(want)} outputs",
-                    f"only {len(got)} outputs"))
+        divergences.extend(compare_streams(reference, observed, name))
     return DeterminismReport(list(trials), compared, divergences)

@@ -1,0 +1,254 @@
+"""Outbound channels against a scripted in-process receiver."""
+
+import asyncio
+import time
+
+from repro.core.message import SilenceAdvance
+from repro.net import codec
+from repro.net.channel import OutboundChannel, send_fence_once
+
+
+class FakeHost:
+    """Minimal receiving end of the channel protocol, scriptable."""
+
+    def __init__(self, incarnation="hostA#1", accept=True):
+        self.incarnation = incarnation
+        self.accept = accept
+        self.expected = 0
+        #: Deduplicated deliveries: (seq, src, message).
+        self.items = []
+        self.hellos = 0
+        self.drop_after = None  # close (unacked) after N items, once
+        self._writer = None
+        self.server = None
+        self.port = None
+
+    async def start(self):
+        self.server = await asyncio.start_server(
+            self._conn, "127.0.0.1", 0
+        )
+        self.port = self.server.sockets[0].getsockname()[1]
+
+    async def stop(self):
+        self.server.close()
+        await self.server.wait_closed()
+
+    def kick(self):
+        """Drop the current connection (simulates a network fault)."""
+        if self._writer is not None:
+            self._writer.close()
+
+    async def _conn(self, reader, writer):
+        try:
+            frame = await codec.read_frame(reader)
+            if frame is None or frame[0] != codec.FRAME_HELLO:
+                return
+            self.hellos += 1
+            if not self.accept:
+                writer.write(codec.encode_not_here())
+                await writer.drain()
+                return
+            writer.write(codec.encode_welcome(self.incarnation))
+            await writer.drain()
+            self._writer = writer
+            received = 0
+            while True:
+                frame = await codec.read_frame(reader)
+                if frame is None:
+                    return
+                tag, body = frame
+                if tag != codec.FRAME_ITEM:
+                    continue
+                seq = int(body["seq"])
+                if seq >= self.expected:
+                    self.expected = seq + 1
+                    self.items.append((seq, body["src"],
+                                       codec.decode_message(body["msg"])))
+                received += 1
+                if self.drop_after is not None \
+                        and received >= self.drop_after:
+                    self.drop_after = None
+                    return  # hang up without acknowledging
+                writer.write(codec.encode_ack(self.expected))
+                await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+
+
+async def wait_until(cond, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if cond():
+            return
+        await asyncio.sleep(0.01)
+    raise AssertionError("condition not met in time")
+
+
+def msg(i):
+    return SilenceAdvance(wire_id=1, through_vt=i)
+
+
+def test_in_order_exactly_once_delivery():
+    async def scenario():
+        host = FakeHost()
+        await host.start()
+        channel = OutboundChannel("sender:1", "n", [("127.0.0.1",
+                                                     host.port)])
+        channel.start()
+        for i in range(5):
+            channel.enqueue("src", msg(i))
+        await wait_until(lambda: channel.items_acked == 5)
+        await channel.close()
+        await host.stop()
+        return host, channel
+
+    host, channel = asyncio.run(scenario())
+    assert [seq for seq, _, _ in host.items] == [0, 1, 2, 3, 4]
+    assert [m.through_vt for _, _, m in host.items] == [0, 1, 2, 3, 4]
+    assert channel.backlog() == 0
+
+
+def test_reconnect_resends_unacked_and_receiver_dedups():
+    async def scenario():
+        host = FakeHost()
+        host.drop_after = 3  # take 3 items, hang up before acking
+        await host.start()
+        channel = OutboundChannel("sender:1", "n", [("127.0.0.1",
+                                                     host.port)])
+        channel.start()
+        for i in range(5):
+            channel.enqueue("src", msg(i))
+        await wait_until(lambda: channel.items_acked == 5)
+        await channel.close()
+        await host.stop()
+        return host, channel
+
+    host, channel = asyncio.run(scenario())
+    assert channel.reconnects >= 2
+    assert host.hellos >= 2
+    # Resent duplicates were discarded: each sequence exactly once.
+    assert [seq for seq, _, _ in host.items] == [0, 1, 2, 3, 4]
+
+
+def test_not_here_until_hosted():
+    async def scenario():
+        host = FakeHost(accept=False)
+        await host.start()
+        channel = OutboundChannel("sender:1", "n", [("127.0.0.1",
+                                                     host.port)])
+        channel.start()
+        channel.enqueue("src", msg(7))
+        await asyncio.sleep(0.15)
+        assert host.items == []  # refused so far
+        host.accept = True
+        await wait_until(lambda: channel.items_acked == 1)
+        await channel.close()
+        await host.stop()
+        return host
+
+    host = asyncio.run(scenario())
+    assert host.hellos >= 2
+    assert [seq for seq, _, _ in host.items] == [0]
+
+
+def test_incarnation_change_resets_epoch():
+    async def scenario():
+        host = FakeHost(incarnation="hostA#1")
+        await host.start()
+        channel = OutboundChannel("sender:1", "n", [("127.0.0.1",
+                                                     host.port)])
+        channel.start()
+        channel.enqueue("src", msg(0))
+        channel.enqueue("src", msg(1))
+        await wait_until(lambda: channel.items_acked == 2)
+        # The node is re-hosted: new incarnation, fresh receiver state.
+        host.incarnation = "hostB#1"
+        host.expected = 0
+        host.kick()
+        # Traffic buffered for the dead incarnation is dropped by the
+        # epoch reset, so enqueue only after the channel adopted the
+        # new one (replay, not the channel, recovers lost traffic).
+        await wait_until(lambda: channel.epoch_resets == 1)
+        channel.enqueue("src", msg(2))
+        channel.enqueue("src", msg(3))
+        await wait_until(lambda: len(host.items) == 4)
+        await channel.close()
+        await host.stop()
+        return host, channel
+
+    host, channel = asyncio.run(scenario())
+    assert channel.epoch_resets == 1
+    # Sequence numbers restarted with the new incarnation.
+    assert [seq for seq, _, _ in host.items] == [0, 1, 0, 1]
+    assert [m.through_vt for _, _, m in host.items] == [0, 1, 2, 3]
+
+
+def test_redirect_rejects_stale_host():
+    async def scenario():
+        host = FakeHost(incarnation="hostA#1")
+        await host.start()
+        channel = OutboundChannel("sender:1", "n", [("127.0.0.1",
+                                                     host.port)])
+        channel.redirect("hostB")  # promotion evidence: node moved
+        channel.start()
+        channel.enqueue("src", msg(0))
+        await asyncio.sleep(0.2)
+        assert host.items == []  # stale incarnation never adopted
+        stale_hellos = host.hellos
+        host.incarnation = "hostB#2"  # the promoted identity appears
+        await wait_until(lambda: channel.items_acked == 1)
+        await channel.close()
+        await host.stop()
+        return host, stale_hellos
+
+    host, stale_hellos = asyncio.run(scenario())
+    assert stale_hellos >= 1  # it did talk to the stale host
+    assert [seq for seq, _, _ in host.items] == [0]
+
+
+def test_redirect_mid_epoch_drops_buffer_and_restarts():
+    async def scenario():
+        host = FakeHost(incarnation="hostA#1")
+        await host.start()
+        channel = OutboundChannel("sender:1", "n", [("127.0.0.1",
+                                                     host.port)])
+        channel.start()
+        channel.enqueue("src", msg(0))
+        await wait_until(lambda: channel.items_acked == 1)
+        host.incarnation = "hostA#2"  # same process re-registered it
+        host.expected = 0
+        channel.redirect("hostA")  # same peer: no reset needed ...
+        assert channel.epoch_resets == 0
+        channel.redirect("hostC")  # ... but a real move resets now
+        assert channel.epoch_resets == 1
+        host.incarnation = "hostC#1"
+        host.expected = 0
+        channel.enqueue("src", msg(5))
+        await wait_until(lambda: len(host.items) == 2)
+        await channel.close()
+        await host.stop()
+        return host
+
+    host = asyncio.run(scenario())
+    assert [seq for seq, _, _ in host.items] == [0, 0]
+
+
+def test_send_fence_once_delivers_fence():
+    async def scenario():
+        host = FakeHost(incarnation="engineproc#1")
+        await host.start()
+        ok = await send_fence_once(("127.0.0.1", host.port),
+                                   "replica:x", "e0", attempts=3,
+                                   gap=0.05)
+        await asyncio.sleep(0.05)  # let the host record the item
+        await host.stop()
+        return ok, host
+
+    ok, host = asyncio.run(scenario())
+    assert ok
+    assert len(host.items) == 1
+    fence = host.items[0][2]
+    assert isinstance(fence, codec.FenceRequest)
+    assert fence.engine_id == "e0"

@@ -1,0 +1,27 @@
+"""End-to-end smoke: real processes, real sockets, simulated oracle.
+
+Scaled down (few messages, ~2s of paced real time per run) so tier-1
+stays quick; the CI net-smoke job and ``python -m repro.net.cluster``
+run the full acceptance sizes.
+"""
+
+from repro.net.cluster import main
+
+
+def test_networked_run_matches_simulated_reference():
+    assert main([
+        "--messages", "30",
+        "--seed", "13",
+        "--timeout", "45",
+    ]) == 0
+
+
+def test_kill_active_engine_recovers_byte_identically():
+    assert main([
+        "--messages", "60",
+        "--seed", "13",
+        "--kill-active",
+        "--skip-clean",
+        "--kill-fraction", "0.3",
+        "--timeout", "60",
+    ]) == 0

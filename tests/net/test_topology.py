@@ -1,0 +1,111 @@
+"""Cluster specs: serialization, layout, and the simulated oracle."""
+
+import pytest
+
+from repro.errors import WiringError
+from repro.net.topology import (
+    ClusterSpec,
+    assign_addresses,
+    build_deployment,
+    contiguous_placement,
+    plan_cluster_nodes,
+    reference_run,
+)
+
+
+def small_spec(**overrides):
+    defaults = dict(
+        engines=["e0", "e1"],
+        replicas=1,
+        master_seed=11,
+        workload={"readings": {"n_messages": 30,
+                               "mean_interarrival_ms": 1.0}},
+    )
+    defaults.update(overrides)
+    return ClusterSpec(**defaults)
+
+
+def test_spec_json_roundtrip():
+    spec = small_spec()
+    ports = {name: ("127.0.0.1", 9000 + i)
+             for i, name in enumerate(plan_cluster_nodes(spec))}
+    assign_addresses(spec, ports)
+    restored = ClusterSpec.from_json(spec.to_json())
+    assert restored == spec
+    # Address tuples survive JSON's list coercion.
+    assert restored.addresses["e0"][0] == spec.addresses["e0"][0]
+
+
+def test_spec_rejects_unknown_keys():
+    with pytest.raises(WiringError, match="unknown cluster spec keys"):
+        ClusterSpec.from_json('{"bogus_key": 1}')
+
+
+def test_contiguous_placement_keeps_neighbours_together():
+    placement = contiguous_placement(["a", "b", "c"], ["e0", "e1"])
+    assert placement == {"a": "e0", "b": "e0", "c": "e1"}
+    # More engines than components: extras are simply unused.
+    placement = contiguous_placement(["a"], ["e0", "e1"])
+    assert placement == {"a": "e0"}
+    with pytest.raises(WiringError):
+        contiguous_placement(["a"], [])
+
+
+def test_plan_cluster_nodes_layout():
+    layout = plan_cluster_nodes(small_spec())
+    assert set(layout) == {"coordinator", "engine-e0", "engine-e1",
+                           "replica-e0", "replica-e1"}
+    assert layout["engine-e0"] == ["e0"]
+    assert layout["replica-e1"] == ["replica:e1"]
+    assert "ext:readings" in layout["coordinator"]
+    assert "sink" in layout["coordinator"]
+    # No replicas -> no replica processes and no checkpointing config.
+    bare = small_spec(replicas=0)
+    assert set(plan_cluster_nodes(bare)) == {"coordinator", "engine-e0",
+                                             "engine-e1"}
+    assert bare.engine_config().checkpoint_interval is None
+
+
+def test_assign_addresses_gives_engines_failover_candidates():
+    spec = small_spec()
+    ports = {name: ("127.0.0.1", 9100 + i)
+             for i, name in enumerate(plan_cluster_nodes(spec))}
+    assign_addresses(spec, ports)
+    # Engine nodes: primary process first, replica process second.
+    assert spec.addresses["e0"] == [ports["engine-e0"],
+                                    ports["replica-e0"]]
+    # Singly-hosted nodes get exactly one candidate.
+    assert spec.addresses["replica:e0"] == [ports["replica-e0"]]
+    assert spec.addresses["ext:readings"] == [ports["coordinator"]]
+    # Every process has a reachable control node.
+    for name in plan_cluster_nodes(spec):
+        assert spec.addresses[f"proc:{name}"] == [ports[name]]
+
+
+def test_identical_specs_build_identical_wire_tables():
+    spec = small_spec()
+    plans = []
+    for _ in range(2):
+        dep = build_deployment(spec)
+        plans.append(sorted(
+            (spec_.wire_id, spec_.kind, spec_.src_component or "",
+             spec_.dst_component or "")
+            for specs in dep._wire_plan.values() for spec_ in specs
+        ))
+    assert plans[0] == plans[1]
+
+
+def test_reference_run_is_deterministic_and_complete():
+    spec = small_spec()
+    first = reference_run(spec)
+    second = reference_run(spec)
+    assert first == second
+    assert set(first) == {"sink"}
+    # 30 readings through a window-10 aggregator: 3 reports.
+    assert len(first["sink"]) == 3
+    seqs = [seq for seq, _vt, _p in first["sink"]]
+    assert seqs == [0, 1, 2]
+    # A different seed yields a different stream (the oracle is not
+    # trivially constant).
+    other = reference_run(small_spec(master_seed=12))
+    assert other != first

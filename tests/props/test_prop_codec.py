@@ -1,0 +1,138 @@
+"""Property tests: the wire codec is a lossless canonical codec.
+
+Two properties for every message type that can cross a socket:
+
+* **round-trip identity** — decoding an encoded message restores an
+  equal message of the exact same type;
+* **byte stability** — equal messages encode to identical bytes, no
+  matter how their payload dicts were built (insertion order must not
+  leak into the wire format, because the byte-level determinism checks
+  compare across processes).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.message import (
+    CallReply,
+    CallRequest,
+    CheckpointAck,
+    CheckpointData,
+    CuriosityProbe,
+    DataMessage,
+    DeterminismFaultRecord,
+    ReplayRequest,
+    SilenceAdvance,
+    StableNotice,
+)
+from repro.net import codec
+from repro.runtime import checkpoint as cpser
+from repro.runtime.detector import Heartbeat
+
+ids = st.integers(min_value=0, max_value=2**31)
+vts = st.integers(min_value=0, max_value=2**62)
+names = st.text(min_size=1, max_size=12)
+
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**62), max_value=2**62),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=16),  # full unicode, surrogates excluded by default
+    st.binary(max_size=16),
+)
+
+payloads = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.lists(children, max_size=4).map(tuple),
+        st.dictionaries(st.text(max_size=6), children, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+messages = st.one_of(
+    st.builds(DataMessage, wire_id=ids, seq=ids, vt=vts, payload=payloads),
+    st.builds(CallRequest, wire_id=ids, seq=ids, vt=vts, payload=payloads,
+              call_id=ids, reply_wire_id=ids),
+    st.builds(CallReply, wire_id=ids, seq=ids, vt=vts, payload=payloads,
+              call_id=ids),
+    st.builds(SilenceAdvance, wire_id=ids, through_vt=vts),
+    st.builds(CuriosityProbe, wire_id=ids, want_vt=vts),
+    st.builds(ReplayRequest, wire_id=ids, from_seq=ids),
+    st.builds(StableNotice, wire_id=ids, through_seq=ids),
+    st.builds(CheckpointData, engine_id=names, cp_seq=ids,
+              incremental=st.booleans(),
+              blob=payloads.map(cpser.dumps)),
+    st.builds(CheckpointAck, engine_id=names, cp_seq=ids),
+    st.builds(DeterminismFaultRecord, component=names, handler=names,
+              effective_vt=vts,
+              coefficients=st.tuples(st.integers(0, 1000),
+                                     st.integers(0, 1000)),
+              intercept=st.integers(0, 10**6)),
+    st.builds(Heartbeat, engine_id=names, seq=ids),
+)
+
+
+@given(messages)
+def test_roundtrip_identity(msg):
+    restored = codec.decode_message_bytes(codec.encode_message_bytes(msg))
+    assert restored == msg
+    assert type(restored) is type(msg)
+
+
+@given(messages)
+def test_byte_stability(msg):
+    blob = codec.encode_message_bytes(msg)
+    again = codec.encode_message_bytes(
+        codec.decode_message_bytes(blob)
+    )
+    assert again == blob
+
+
+@given(st.dictionaries(st.text(max_size=6), scalars,
+                       min_size=2, max_size=6), ids, ids, vts)
+def test_dict_insertion_order_never_reaches_the_wire(payload, wire, seq,
+                                                     vt):
+    forward = DataMessage(wire_id=wire, seq=seq, vt=vt, payload=payload)
+    shuffled = DataMessage(
+        wire_id=wire, seq=seq, vt=vt,
+        payload=dict(reversed(list(payload.items()))),
+    )
+    assert (codec.encode_message_bytes(forward)
+            == codec.encode_message_bytes(shuffled))
+
+
+@settings(max_examples=40)
+@given(messages, ids, names, names)
+def test_item_frame_roundtrip(msg, seq, src, dst):
+    raw = codec.encode_item(seq, src, dst, msg)
+    splitter = codec.FrameSplitter()
+    frames = splitter.feed(raw)
+    assert len(frames) == 1
+    tag, body = frames[0]
+    assert tag == codec.FRAME_ITEM
+    assert (body["seq"], body["src"], body["dst"]) == (seq, src, dst)
+    restored = codec.decode_message(body["msg"])
+    assert restored == msg
+    assert type(restored) is type(msg)
+
+
+@settings(max_examples=25)
+@given(payloads, payloads, st.integers(0, 100), names)
+def test_checkpoint_chain_roundtrip(full_state, delta_state, cp_seq,
+                                    engine_id):
+    """Full + incremental checkpoints survive the wire byte-exactly."""
+    chain = [
+        CheckpointData(engine_id=engine_id, cp_seq=cp_seq,
+                       incremental=False, blob=cpser.dumps(full_state)),
+        CheckpointData(engine_id=engine_id, cp_seq=cp_seq + 1,
+                       incremental=True, blob=cpser.dumps(delta_state)),
+    ]
+    for cp in chain:
+        restored = codec.decode_message_bytes(
+            codec.encode_message_bytes(cp)
+        )
+        assert restored == cp
+        assert cpser.loads(restored.blob) == cpser.loads(cp.blob)

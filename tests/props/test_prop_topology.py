@@ -6,7 +6,7 @@ system-level invariants on each: repeat-run equality, silence-policy
 invariance, and (for checkpointed deployments) failover equivalence.
 """
 
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.core.component import Component, on_message
@@ -145,8 +145,42 @@ def test_policy_invariance_on_random_topologies(topo):
         assert sa[sink][:n] == sb[sink][:n]
 
 
+def producer_paths_into(topo, sink_component):
+    """Number of producer->sink paths feeding one last-layer component.
+
+    Each first-layer component has its own Poisson producer, and every
+    stage re-emits each input once, so the output rate at a sink is the
+    per-producer arrival rate times the number of distinct paths from
+    any first-layer component to it.
+    """
+    paths = {name: 1 for name in topo["costs"] if name.startswith("c0_")}
+    for li in range(1, len(topo["layers"])):
+        for name in topo["costs"]:
+            if not name.startswith(f"c{li}_"):
+                continue
+            paths[name] = sum(paths[src] for src, dst in topo["edges"]
+                              if dst == name)
+    return paths[sink_component]
+
+
 @settings(max_examples=5, deadline=None)
 @given(topologies(), st.integers(50, 200))
+@example(
+    # Discovered by Hypothesis: c2_0 draws a 99us/field cost (mean ~495us
+    # per message at ~2 msgs/ms fan-in => ~99% utilized), so the
+    # post-failover backlog drains too slowly for a fixed tail bound.
+    topo={'layers': [1, 2, 1],
+          'costs': {'c0_0': 10, 'c1_0': 10, 'c1_1': 51, 'c2_0': 99},
+          'edges': [('c0_0', 'c1_0'),
+                    ('c0_0', 'c1_1'),
+                    ('c1_0', 'c2_0'),
+                    ('c1_1', 'c2_0')],
+          'placement': {'c0_0': 'E0', 'c1_0': 'E0',
+                        'c1_1': 'E0', 'c2_0': 'E0'},
+          'link_delay': 0,
+          'seed': 337},
+    kill_ms=147,
+).via('discovered failure')
 def test_failover_equivalence_on_random_topologies(topo, kill_ms):
     engines = sorted(set(topo["placement"].values()))
     victim = engines[topo["seed"] % len(engines)]
@@ -159,9 +193,16 @@ def test_failover_equivalence_on_random_topologies(topo, kill_ms):
     got, want = streams(faulty), streams(clean)
     assert set(got) == set(want)
     for sink in want:
-        # Random cost draws can make a stage >100% utilized; then both
-        # runs carry a permanent backlog and the faulty one trails by
-        # the failover downtime.  Equivalence = exact prefix, and no
-        # more than a modest tail still in the queues.
+        # Random cost draws can make a stage ~100% utilized; then both
+        # runs carry a backlog and the faulty one trails by the work
+        # redone since the last stable checkpoint (up to the checkpoint
+        # interval plus the detection delay, times the sink's output
+        # rate of one message per producer-path per ms), which near
+        # saturation never drains by the cutoff.  Equivalence = exact
+        # prefix, and a tail no larger than that redone window (doubled
+        # for Poisson burstiness) plus a fixed allowance.
+        component = sink[len("sink_"):]
+        redone_ms = 30 + 2  # checkpoint interval + detection delay
+        slack = 60 + 2 * producer_paths_into(topo, component) * redone_ms
         assert got[sink] == want[sink][:len(got[sink])]
-        assert len(got[sink]) >= len(want[sink]) - 60
+        assert len(got[sink]) >= len(want[sink]) - slack

@@ -45,6 +45,31 @@ class TestLatency:
         assert m.latency_percentile_us(95) == pytest.approx(95, abs=2)
         assert m.latency_percentile_us(0) == pytest.approx(1)
 
+    def test_percentiles_interpolate_between_ranks(self):
+        # Known quantiles on a small, fixed sample: with linear
+        # interpolation between closest ranks (numpy's default), the
+        # values below are exact; nearest-rank rounding would bias
+        # p95 up to 4.0us and p50 to a data point.
+        m = MetricSet()
+        for v in (1_000, 2_000, 3_000, 4_000):
+            m.record_latency(0, v)
+        assert m.latency_percentile_us(50) == pytest.approx(2.5)
+        assert m.latency_percentile_us(25) == pytest.approx(1.75)
+        assert m.latency_percentile_us(75) == pytest.approx(3.25)
+        assert m.latency_percentile_us(95) == pytest.approx(3.85)
+        assert m.latency_percentile_us(0) == pytest.approx(1.0)
+        assert m.latency_percentile_us(100) == pytest.approx(4.0)
+
+    def test_percentile_single_sample_and_clamping(self):
+        m = MetricSet()
+        m.record_latency(0, 7_000)
+        for q in (0, 37.5, 100):
+            assert m.latency_percentile_us(q) == pytest.approx(7.0)
+        m.record_latency(0, 9_000)
+        # Out-of-range q clamps rather than indexing out of bounds.
+        assert m.latency_percentile_us(-5) == pytest.approx(7.0)
+        assert m.latency_percentile_us(120) == pytest.approx(9.0)
+
     def test_std(self):
         m = MetricSet()
         for v in (1_000, 3_000):

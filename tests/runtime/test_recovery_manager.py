@@ -3,7 +3,7 @@
 import pytest
 
 from repro.apps.wordcount import birth_of, build_wordcount_app, sentence_factory
-from repro.errors import RecoveryError
+from repro.errors import FailoverInProgressError, RecoveryError
 from repro.runtime.app import Deployment
 from repro.runtime.engine import EngineConfig
 from repro.runtime.placement import Placement
@@ -43,6 +43,35 @@ class TestRecoveryManager:
         with pytest.raises(RecoveryError):
             dep.recovery.engine_failed("E2")
         dep.run(until=ms(200))
+        assert not dep.recovery.in_progress("E2")
+        assert dep.recovery.failover_count("E2") == 1
+
+    def test_double_report_raises_structured_error(self):
+        # Detector + injector double-report: the second declaration must
+        # raise a structured error identifying the engine and when its
+        # failover was declared, so callers can drop the duplicate.
+        dep = build()
+        dep.run(until=ms(100))
+        declared_at = dep.sim.now
+        dep.recovery.engine_failed("E2", detection_delay=ms(50))
+        with pytest.raises(FailoverInProgressError) as exc_info:
+            dep.recovery.engine_failed("E2")
+        err = exc_info.value
+        assert err.engine_id == "E2"
+        assert err.failed_at == declared_at
+        assert "E2" in str(err) and str(declared_at) in str(err)
+
+    def test_double_report_is_idempotent_when_caught(self):
+        # Catching the duplicate leaves the original failover intact:
+        # it still completes exactly once.
+        dep = build()
+        dep.run(until=ms(100))
+        dep.recovery.engine_failed("E2", detection_delay=ms(50))
+        try:
+            dep.recovery.engine_failed("E2")
+        except FailoverInProgressError:
+            pass
+        dep.run(until=ms(300))
         assert not dep.recovery.in_progress("E2")
         assert dep.recovery.failover_count("E2") == 1
 
