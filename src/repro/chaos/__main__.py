@@ -1,0 +1,142 @@
+"""``python -m repro.chaos``: run one seeded chaos experiment.
+
+Exit codes: 0 — live run byte-identical to the simulated reference and
+all invariants hold; 1 — an invariant failed (a real bug); 2 — the
+schedule was unsurvivable and the cluster degraded gracefully with a
+structured :class:`~repro.errors.UnrecoverableClusterError` (expected
+for ``--scenario unsurvivable``, a surprise otherwise).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.chaos.runner import run_chaos
+from repro.chaos.schedule import (
+    EXTRA_SCENARIOS,
+    SCENARIOS,
+    ChaosSchedule,
+    generate_schedule,
+)
+from repro.errors import UnrecoverableClusterError
+from repro.net.topology import ClusterSpec
+
+
+def build_spec(args: argparse.Namespace) -> ClusterSpec:
+    """A chaos-tuned cluster spec: same workload as the cluster CLI,
+    compressed transport timeouts so partitions and kills resolve in
+    test-scale wall time."""
+    return ClusterSpec(
+        app="pipeline",
+        app_args={"window": args.window},
+        engines=[f"e{i}" for i in range(args.engines)],
+        replicas=args.replicas,
+        master_seed=args.master_seed,
+        speed=args.speed,
+        checkpoint_interval_ms=args.checkpoint_ms,
+        heartbeat_interval_ms=args.heartbeat_ms,
+        heartbeat_miss_limit=args.heartbeat_miss,
+        workload={"readings": {
+            "n_messages": args.messages,
+            "mean_interarrival_ms": args.mean_ms,
+        }},
+        connect_timeout_s=0.5,
+        handshake_timeout_s=0.5,
+        backoff_min_s=0.02,
+        backoff_max_s=0.2,
+        fence_attempts=10,
+        fence_gap_s=0.1,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    known = sorted(SCENARIOS) + sorted(EXTRA_SCENARIOS)
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.chaos",
+        description="Generate the seeded fault schedule for --seed, run "
+                    "it against a live multi-process cluster behind a "
+                    "TCP fault proxy, and verify the recovered output "
+                    "byte-identical to the simulated reference.",
+    )
+    parser.add_argument("--seed", type=int, default=0,
+                        help="schedule seed; also picks the scenario "
+                             "(seed %% n rotates through them)")
+    parser.add_argument("--scenario", default=None, choices=known,
+                        help="force a scenario instead of the rotation")
+    parser.add_argument("--schedule", default=None, metavar="FILE",
+                        help="run a saved schedule JSON instead of "
+                             "generating one")
+    parser.add_argument("--emit-schedule", action="store_true",
+                        help="print the schedule JSON and exit (diff "
+                             "two seeds, or save for --schedule)")
+    parser.add_argument("--sim-only", action="store_true",
+                        help="only run the in-simulator replay")
+    parser.add_argument("--skip-sim", action="store_true",
+                        help="skip the in-simulator replay")
+    parser.add_argument("--engines", type=int, default=2)
+    parser.add_argument("--replicas", type=int, default=1, choices=(0, 1))
+    parser.add_argument("--messages", type=int, default=240)
+    parser.add_argument("--mean-ms", type=float, default=1.0)
+    parser.add_argument("--window", type=int, default=10)
+    parser.add_argument("--master-seed", type=int, default=7,
+                        help="workload/application seed (the chaos "
+                             "--seed only drives the fault schedule)")
+    parser.add_argument("--speed", type=float, default=0.1)
+    parser.add_argument("--checkpoint-ms", type=float, default=25.0)
+    parser.add_argument("--heartbeat-ms", type=float, default=10.0)
+    parser.add_argument("--heartbeat-miss", type=int, default=3)
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="live-run wall-clock deadline in seconds")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable report on stdout")
+    args = parser.parse_args(argv)
+
+    spec = build_spec(args)
+    schedule = None
+    if args.schedule:
+        schedule = ChaosSchedule.from_json(Path(args.schedule).read_text())
+    if args.emit_schedule:
+        schedule = schedule or generate_schedule(args.seed, spec,
+                                                 args.scenario)
+        print(schedule.to_json())
+        return 0
+
+    try:
+        report = run_chaos(
+            spec, args.seed,
+            scenario=args.scenario,
+            schedule=schedule,
+            deadline_s=args.timeout,
+            run_sim=not args.skip_sim,
+            run_live=not args.sim_only,
+        )
+    except UnrecoverableClusterError as exc:
+        print(f"chaos: {exc}", file=sys.stderr, flush=True)
+        if args.as_json:
+            print(json.dumps({
+                "ok": False,
+                "unrecoverable": True,
+                "lost_state": exc.lost_state,
+                "seed": exc.schedule_seed,
+                "delivered": exc.delivered,
+                "expected": exc.expected,
+            }, indent=2, sort_keys=True))
+        return 2
+
+    if args.as_json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    verdict = report.get("verdict", {})
+    for violation in verdict.get("violations", []):
+        print(f"chaos: violation: {violation}", file=sys.stderr, flush=True)
+    status = "OK" if report["ok"] else "FAIL"
+    print(f"chaos: seed {args.seed} ({report['scenario']}): {status}",
+          file=sys.stderr, flush=True)
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

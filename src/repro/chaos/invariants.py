@@ -1,0 +1,149 @@
+"""Post-run invariants: what "the cluster survived" actually means.
+
+A chaos run passes only when the live cluster's observable behaviour is
+indistinguishable from the failure-free simulation:
+
+1. **Byte identity** — every consumer stream equals the simulated
+   reference, element for element: same ``(seq, vt, payload)`` triples,
+   same count (:func:`~repro.tools.verify_determinism
+   .verify_trace_equivalence` with ``require_complete``).
+2. **Exactly-once delivery** — each consumer's effective sequence
+   numbers are exactly ``0..n-1``: no duplicate past the ack frontier,
+   no gap.  (Suppressed duplicates are fine — they show up as
+   ``stutter``, which is reported, not forbidden.)
+3. **Incarnation convergence** — for every engine node, the
+   coordinator's channel ends the run pointed at exactly one
+   incarnation, hosted by the process the schedule predicts (the
+   replica after an engine kill, the engine otherwise).  A ``None``
+   expectation (e.g. a SIGSTOP/SIGCONT duel) only requires that *some*
+   single incarnation won.
+
+When the schedule is unsurvivable — :meth:`ChaosSchedule.lost_state
+<repro.chaos.schedule.ChaosSchedule.lost_state>` names destroyed state —
+an incomplete run is the *correct* outcome, reported as a structured
+:class:`~repro.errors.UnrecoverableClusterError` rather than a pass, a
+hang, or a stack trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import UnrecoverableClusterError
+from repro.chaos.schedule import ChaosSchedule
+from repro.net.topology import ClusterSpec
+from repro.tools.verify_determinism import verify_trace_equivalence
+
+
+def incarnation_host(incarnation: Optional[str]) -> Optional[str]:
+    """The process name that minted an incarnation string.
+
+    Incarnations are ``<process>:<uuid8>#<counter>``; both suffixes are
+    stripped.  ``None`` (channel never connected) stays ``None``.
+    """
+    if not incarnation:
+        return None
+    peer = incarnation.split("#", 1)[0]
+    return peer.rsplit(":", 1)[0]
+
+
+def exactly_once_violations(streams: Dict[str, List[Tuple]]) -> List[str]:
+    """Human-readable violations of contiguous 0..n-1 delivery."""
+    violations: List[str] = []
+    for sink, stream in sorted(streams.items()):
+        seqs = [entry[0] for entry in stream]
+        if seqs == list(range(len(seqs))):
+            continue
+        dups = sorted({s for s in seqs if seqs.count(s) > 1})
+        if dups:
+            violations.append(
+                f"{sink}: duplicate seq(s) past ack frontier: {dups[:5]}"
+            )
+        expected = set(range(len(seqs)))
+        gaps = sorted(expected - set(seqs))
+        if gaps:
+            violations.append(f"{sink}: gap(s) in delivery: {gaps[:5]}")
+        if not dups and not gaps:
+            violations.append(f"{sink}: out-of-order delivery: {seqs[:8]}")
+    return violations
+
+
+def convergence_violations(
+    spec: ClusterSpec,
+    schedule: ChaosSchedule,
+    incarnations: Dict[str, Optional[str]],
+) -> List[str]:
+    """Engines whose final incarnation is not where the schedule says."""
+    violations: List[str] = []
+    expected_hosts = schedule.expected_hosts(spec)
+    for engine_id, expected in sorted(expected_hosts.items()):
+        incarnation = incarnations.get(engine_id)
+        host = incarnation_host(incarnation)
+        if host is None:
+            # The coordinator only dials engines its ingresses feed;
+            # engines it never talked to are unobserved, not wrong —
+            # byte identity already covers their output path.
+            continue
+        if expected is not None and host != expected:
+            violations.append(
+                f"{engine_id}: converged on {host} "
+                f"(incarnation {incarnation}), expected {expected}"
+            )
+    return violations
+
+
+def check_invariants(
+    spec: ClusterSpec,
+    schedule: ChaosSchedule,
+    reference: Dict[str, List[Tuple]],
+    result: Dict,
+) -> Dict:
+    """Judge one live run against the simulated reference.
+
+    ``result`` is the dict returned by
+    :func:`repro.net.cluster.run_networked` (with ``streams`` and
+    ``incarnations`` still present).  Returns a verdict dict with
+    ``ok``, per-invariant booleans, and a ``violations`` list; raises
+    :class:`UnrecoverableClusterError` when the schedule destroyed
+    state and the run (correctly) could not finish.
+    """
+    streams = result.get("streams", {})
+    delivered = sum(len(s) for s in streams.values())
+    expected = sum(len(s) for s in reference.values())
+
+    lost = schedule.lost_state(spec)
+    if lost is not None and delivered < expected:
+        raise UnrecoverableClusterError(
+            lost, schedule_seed=schedule.seed,
+            delivered=delivered, expected=expected,
+        )
+
+    verdict = verify_trace_equivalence(
+        reference, streams,
+        trial=f"chaos-seed-{schedule.seed}", require_complete=True,
+    )
+    violations: List[str] = []
+    if not verdict.deterministic:
+        violations.append(verdict.summary())
+
+    once = exactly_once_violations(streams)
+    violations.extend(once)
+
+    converge = convergence_violations(
+        spec, schedule, result.get("incarnations", {})
+    )
+    violations.extend(converge)
+
+    if result.get("error"):
+        violations.append(f"run error: {result['error']}")
+
+    return {
+        "ok": not violations,
+        "byte_identical": verdict.deterministic,
+        "exactly_once": not once,
+        "converged": not converge,
+        "delivered": delivered,
+        "expected": expected,
+        "lost_state": lost,
+        "violations": violations,
+    }

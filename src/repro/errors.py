@@ -98,3 +98,53 @@ class ReplayGapError(RecoveryError):
 
 class TransportError(TartError):
     """The inter-engine transport was misconfigured or misused."""
+
+
+class FenceDeliveryError(TransportError):
+    """A fence request could not be handed to the peer within the retry
+    budget.
+
+    Fencing is best-effort by design (a dead engine cannot be fenced and
+    does not need to be), but the *attempt* must terminate: after
+    ``attempts`` connect/handshake tries against ``address`` the fence
+    path gives up with this structured error instead of silently
+    returning, so callers can record the failure and chaos tooling can
+    assert the retry budget was honoured.
+    """
+
+    def __init__(self, engine_id: str, address, attempts: int):
+        super().__init__(
+            f"fence for {engine_id}: no delivery to {address!r} "
+            f"after {attempts} attempt(s)"
+        )
+        self.engine_id = engine_id
+        self.address = address
+        self.attempts = attempts
+
+
+class ChaosError(TartError):
+    """A chaos schedule was malformed or could not be executed."""
+
+
+class UnrecoverableClusterError(ChaosError):
+    """A fault schedule destroyed state the recovery protocol needs.
+
+    Raised (instead of hanging or producing a partial stream) when a
+    schedule is genuinely unsurvivable — e.g. an engine *and* its only
+    replica were both killed, so the checkpoint chain and the successor
+    process are gone.  ``lost_state`` names exactly what was lost;
+    ``schedule_seed`` identifies the schedule for reproduction.
+    """
+
+    def __init__(self, lost_state: str, schedule_seed=None,
+                 delivered=None, expected=None):
+        detail = f"unrecoverable: {lost_state}"
+        if schedule_seed is not None:
+            detail += f" (schedule seed {schedule_seed})"
+        if delivered is not None and expected is not None:
+            detail += f"; delivered {delivered}/{expected} outputs"
+        super().__init__(detail)
+        self.lost_state = lost_state
+        self.schedule_seed = schedule_seed
+        self.delivered = delivered
+        self.expected = expected

@@ -32,30 +32,62 @@ replica process answers NOT_HERE until promotion completes).
 from __future__ import annotations
 
 import asyncio
+import random
+import zlib
 from collections import deque
 from typing import Any, Deque, List, Optional, Sequence, Tuple
 
+from repro.errors import FenceDeliveryError
 from repro.net import codec
 
 #: Items buffered (unsent + unacked) above which a channel reports
 #: congestion to the pump.
 HIGH_WATER_ITEMS = 4096
 
-#: Reconnect backoff bounds in seconds.
-_BACKOFF_MIN = 0.02
-_BACKOFF_MAX = 0.5
+#: Default reconnect backoff bounds in seconds (constructor-tunable so
+#: chaos tests can compress wall-clock time).
+BACKOFF_MIN_S = 0.02
+BACKOFF_MAX_S = 0.5
+
+#: Default connect / handshake timeouts in seconds.
+CONNECT_TIMEOUT_S = 2.0
+HANDSHAKE_TIMEOUT_S = 2.0
+
+
+def backoff_jitter_rng(seed: int, peer: str, dst_node: str) -> random.Random:
+    """A deterministic per-(peer, destination) jitter stream.
+
+    Seeded from stable identifiers only (the cluster seed, the peer's
+    *process name*, and the destination node), so the same deployment
+    always draws the same jitter sequence — reproducible for chaos
+    replay — while distinct channels draw *different* sequences, which
+    is what desynchronizes the reconnect storm after a partition heals.
+    """
+    stable_peer = peer.rsplit(":", 1)[0]  # drop the per-run uuid suffix
+    key = f"{seed}|{stable_peer}|{dst_node}".encode()
+    return random.Random(zlib.crc32(key))
 
 
 class OutboundChannel:
     """Orders and retransmits items toward one destination node."""
 
     def __init__(self, peer_id: str, dst_node: str,
-                 addresses: Sequence[Tuple[str, int]]):
+                 addresses: Sequence[Tuple[str, int]],
+                 backoff_min: float = BACKOFF_MIN_S,
+                 backoff_max: float = BACKOFF_MAX_S,
+                 connect_timeout: float = CONNECT_TIMEOUT_S,
+                 handshake_timeout: float = HANDSHAKE_TIMEOUT_S,
+                 jitter_seed: int = 0):
         if not addresses:
             raise codec.CodecError(f"no addresses for node {dst_node!r}")
         self.peer_id = peer_id
         self.dst_node = dst_node
         self.addresses: List[Tuple[str, int]] = [tuple(a) for a in addresses]
+        self.backoff_min = float(backoff_min)
+        self.backoff_max = float(backoff_max)
+        self.connect_timeout = float(connect_timeout)
+        self.handshake_timeout = float(handshake_timeout)
+        self._jitter = backoff_jitter_rng(jitter_seed, peer_id, dst_node)
         #: Items accepted but not yet assigned a sequence number.
         self._pending: Deque[Tuple[str, Any]] = deque()
         #: (seq, frame bytes) sent but not yet acknowledged.
@@ -72,8 +104,21 @@ class OutboundChannel:
         #: Diagnostics.
         self.items_sent = 0
         self.items_acked = 0
+        self.items_resent = 0
         self.reconnects = 0
+        self.connect_failures = 0
         self.epoch_resets = 0
+
+    def counters(self) -> dict:
+        """Per-channel fault/retransmit/epoch counters (for metrics)."""
+        return {
+            "items_sent": self.items_sent,
+            "items_acked": self.items_acked,
+            "items_resent": self.items_resent,
+            "reconnects": self.reconnects,
+            "connect_failures": self.connect_failures,
+            "epoch_resets": self.epoch_resets,
+        }
 
     # -- producer side (called synchronously from sim events) ----------
     def enqueue(self, src_node: str, msg: Any) -> None:
@@ -159,17 +204,25 @@ class OutboundChannel:
 
     # -- internals ------------------------------------------------------
     async def _run(self) -> None:
-        backoff = _BACKOFF_MIN
+        backoff = self.backoff_min
         addr_idx = 0
         while not self._closed:
             address = self.addresses[addr_idx % len(self.addresses)]
             addr_idx += 1
             conn = await self._try_connect(address)
             if conn is None:
-                await asyncio.sleep(backoff)
-                backoff = min(_BACKOFF_MAX, backoff * 1.6)
+                self.connect_failures += 1
+                # Deterministic jitter (0.5x..1.5x) from the per-channel
+                # seeded stream: after a partition heals, every sender
+                # would otherwise retry on the same exponential ladder
+                # and hammer the healed host in synchronized waves.
+                await asyncio.sleep(
+                    min(self.backoff_max,
+                        backoff * (0.5 + self._jitter.random()))
+                )
+                backoff = min(self.backoff_max, backoff * 1.6)
                 continue
-            backoff = _BACKOFF_MIN
+            backoff = self.backoff_min
             reader, writer, incarnation = conn
             self._on_incarnation(incarnation)
             try:
@@ -189,7 +242,8 @@ class OutboundChannel:
         host, port = address
         try:
             reader, writer = await asyncio.wait_for(
-                asyncio.open_connection(host, port), timeout=2.0
+                asyncio.open_connection(host, port),
+                timeout=self.connect_timeout,
             )
         except (ConnectionError, OSError, asyncio.TimeoutError):
             return None
@@ -197,7 +251,7 @@ class OutboundChannel:
             writer.write(codec.encode_hello(self.peer_id, self.dst_node))
             await writer.drain()
             frame = await asyncio.wait_for(codec.read_frame(reader),
-                                           timeout=2.0)
+                                           timeout=self.handshake_timeout)
         except (ConnectionError, OSError, asyncio.TimeoutError):
             writer.close()
             return None
@@ -239,6 +293,7 @@ class OutboundChannel:
             # first, in order (the receiver discards duplicates by seq).
             for _seq, frame in list(self._unacked):
                 writer.write(frame)
+                self.items_resent += 1
             await writer.drain()
             while not self._closed:
                 if acks.done():
@@ -288,18 +343,30 @@ class OutboundChannel:
                 self.items_acked += 1
 
 
+#: Per-attempt connect/handshake timeout of the fence path in seconds.
+FENCE_TIMEOUT_S = 1.0
+
+
 async def send_fence_once(address: Tuple[str, int], peer_id: str,
                           engine_id: str, attempts: int = 10,
-                          gap: float = 0.2) -> bool:
-    """Best-effort one-shot fence delivery to an engine's *primary*
-    address (never the replica's, so a completed promotion cannot fence
-    itself).  Returns True if the fence was handed to the peer.
+                          gap: float = 0.2,
+                          timeout: float = FENCE_TIMEOUT_S) -> bool:
+    """One-shot fence delivery to an engine's *primary* address (never
+    the replica's, so a completed promotion cannot fence itself).
+
+    Returns True when the fence was handed to the peer, and False when
+    the peer answered NOT_HERE (nothing is hosted at the primary, so
+    there is nothing to fence — the common post-crash case).  If the
+    address stays unreachable for the whole capped retry budget, raises
+    a structured :class:`~repro.errors.FenceDeliveryError` instead of
+    silently giving up: a partitioned-but-alive primary is exactly the
+    case operators need to see.
     """
     host, port = address
-    for _ in range(attempts):
+    for _ in range(max(1, attempts)):
         try:
             reader, writer = await asyncio.wait_for(
-                asyncio.open_connection(host, port), timeout=1.0
+                asyncio.open_connection(host, port), timeout=timeout
             )
         except (ConnectionError, OSError, asyncio.TimeoutError):
             await asyncio.sleep(gap)
@@ -308,7 +375,7 @@ async def send_fence_once(address: Tuple[str, int], peer_id: str,
             writer.write(codec.encode_hello(peer_id, engine_id))
             await writer.drain()
             frame = await asyncio.wait_for(codec.read_frame(reader),
-                                           timeout=1.0)
+                                           timeout=timeout)
             if frame is not None and frame[0] == codec.FRAME_WELCOME:
                 writer.write(codec.encode_item(
                     0, peer_id, engine_id, codec.FenceRequest(engine_id)
@@ -324,4 +391,4 @@ async def send_fence_once(address: Tuple[str, int], peer_id: str,
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
-    return False
+    raise FenceDeliveryError(engine_id, address, max(1, attempts))

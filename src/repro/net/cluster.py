@@ -126,6 +126,18 @@ class ChildProcess:
     def kill(self) -> None:
         self.proc.kill()
 
+    def stop(self) -> None:
+        """SIGSTOP: freeze the process (heartbeats stop, sockets stay)."""
+        import signal
+
+        self.proc.send_signal(signal.SIGSTOP)
+
+    def cont(self) -> None:
+        """SIGCONT: thaw a stopped process (it resumes, stale)."""
+        import signal
+
+        self.proc.send_signal(signal.SIGCONT)
+
     def reap(self, timeout: float = 5.0) -> Optional[int]:
         try:
             return self.proc.wait(timeout=timeout)
@@ -177,19 +189,29 @@ async def run_networked(
     kill_engine: Optional[str] = None,
     kill_fraction: float = 0.4,
     deadline_s: float = 60.0,
+    chaos=None,
 ) -> Dict:
     """One multi-process run; returns streams and diagnostics.
 
     ``spec`` must already carry addresses (see :func:`with_addresses`).
     With ``kill_engine`` set, that engine's process is SIGKILLed once
     ``kill_fraction`` of the expected outputs have been delivered.
+
+    ``chaos`` is an optional driver (``repro.chaos.runner.ChaosDriver``)
+    hooked into the lifecycle: ``await chaos.start()`` once the
+    coordinator's own socket is up (its fault-proxy listeners must
+    accept before any child dials), ``chaos.attach(children)`` after
+    spawning, ``chaos.on_go(t0)`` when the shared epoch is set, and
+    ``await chaos.close()`` on the way out.
     """
     started = time.monotonic()
     runtime = ProcessRuntime("coordinator", spec)
-    listen_host, listen_port = spec.addresses["proc:coordinator"][0]
+    listen_host, listen_port = spec.listen_addr("coordinator")
     server = await asyncio.start_server(
         runtime._handle_conn, listen_host, listen_port
     )
+    if chaos is not None:
+        await chaos.start()
     host = CoordinatorHost(spec, runtime)
 
     spec_file = tempfile.NamedTemporaryFile(
@@ -200,6 +222,8 @@ async def run_networked(
         spec_file.write(spec.to_json())
 
     children = spawn_children(spec, spec_path)
+    if chaos is not None:
+        chaos.attach(children)
     result: Dict = {
         "killed": None,
         "complete": False,
@@ -225,6 +249,8 @@ async def run_networked(
                 runtime.peer_id, codec.GoSignal(t0=t0, speed=spec.speed)
             )
         runtime.clock.set_epoch(t0)
+        if chaos is not None:
+            chaos.on_go(t0)
         host.start()
         pump = loop.create_task(runtime.rtk.run(), name="pump:coordinator")
 
@@ -271,6 +297,13 @@ async def run_networked(
         epoch_resets = sum(
             ch.epoch_resets for ch in runtime.transport._channels.values()
         )
+        incarnations = {
+            dst: ch._known_incarnation
+            for dst, ch in runtime.transport._channels.items()
+        }
+        channel_counters = runtime.transport.channel_counters()
+        if chaos is not None:
+            await chaos.close()
         await runtime.transport.close()
         server.close()
         await server.wait_closed()
@@ -287,7 +320,11 @@ async def run_networked(
         elapsed_s=round(time.monotonic() - started, 3),
         child_exit_codes=exit_codes,
         epoch_resets=epoch_resets,
+        incarnations=incarnations,
+        channel_counters=channel_counters,
     )
+    if chaos is not None:
+        result["chaos"] = chaos.report()
     return result
 
 
@@ -354,9 +391,36 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="per-run wall-clock deadline in seconds")
     parser.add_argument("--skip-clean", action="store_true",
                         help="skip the no-failure networked run")
+    parser.add_argument("--chaos", type=int, default=None, metavar="SEED",
+                        help="instead of the clean/kill trials, run the "
+                             "seeded chaos schedule SEED against this "
+                             "cluster (python -m repro.chaos with the "
+                             "same workload knobs)")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="machine-readable report on stdout")
     args = parser.parse_args(argv)
+
+    if args.chaos is not None:
+        from repro.chaos.__main__ import main as chaos_main
+
+        chaos_argv = [
+            "--seed", str(args.chaos),
+            "--engines", str(args.engines),
+            "--replicas", str(args.replicas),
+            "--messages", str(args.messages),
+            "--mean-ms", str(args.mean_ms),
+            "--window", str(args.window),
+            "--master-seed", str(args.seed),
+            "--speed", str(args.speed),
+            "--checkpoint-ms", str(args.checkpoint_ms),
+            "--heartbeat-ms", str(args.heartbeat_ms),
+            "--heartbeat-miss", str(args.heartbeat_miss),
+        ]
+        if args.timeout is not None:
+            chaos_argv += ["--timeout", str(args.timeout)]
+        if args.as_json:
+            chaos_argv.append("--json")
+        return chaos_main(chaos_argv)
 
     if args.kill_active and args.replicas < 1:
         parser.error("--kill-active requires --replicas >= 1")

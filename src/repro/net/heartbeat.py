@@ -56,10 +56,12 @@ class ReplicaHost:
         for engine in self.deployment.engines.values():
             engine.halt()  # all zombies until this replica promotes one
 
+        transport.metrics = self.metrics
         #: What the recovery manager sees as "the engines": the watched
         #: engine only, represented by its remote handle until promotion.
         self.engines: Dict[str, object] = {
-            engine_id: RemoteEngineHandle(engine_id, spec, transport.peer_id)
+            engine_id: RemoteEngineHandle(engine_id, spec, transport.peer_id,
+                                          transport=transport)
         }
         self.recovery = RecoveryManager(self)
 

@@ -24,8 +24,10 @@ baseline.
 from __future__ import annotations
 
 import asyncio
+import sys
 from typing import Any, Callable, Dict, Optional
 
+from repro.errors import FenceDeliveryError
 from repro.net import codec
 from repro.net.channel import OutboundChannel, send_fence_once
 from repro.net.topology import ClusterSpec, build_deployment
@@ -67,6 +69,12 @@ class NetTransport:
         self.sim = sim
         self.spec = spec
         self.peer_id = peer_id
+        #: Optional MetricSet the per-channel counters are exported to
+        #: (see :meth:`export_metrics`); hosts wire their deployment's.
+        self.metrics = None
+        #: Fence attempts that exhausted their retry budget (see
+        #: :class:`RemoteEngineHandle`).
+        self.fence_failures = 0
         self._local: Dict[str, Any] = {}
         #: node id -> incarnation string advertised in WELCOME frames.
         self.incarnations: Dict[str, str] = {}
@@ -150,7 +158,14 @@ class NetTransport:
                 raise codec.CodecError(
                     f"{self.peer_id}: no address for node {dst_node!r}"
                 )
-            channel = OutboundChannel(self.peer_id, dst_node, addresses)
+            channel = OutboundChannel(
+                self.peer_id, dst_node, addresses,
+                backoff_min=self.spec.backoff_min_s,
+                backoff_max=self.spec.backoff_max_s,
+                connect_timeout=self.spec.connect_timeout_s,
+                handshake_timeout=self.spec.handshake_timeout_s,
+                jitter_seed=self.spec.master_seed,
+            )
             host = self._node_hosts.get(dst_node)
             if host is not None:
                 channel.redirect(host)
@@ -161,6 +176,30 @@ class NetTransport:
     def congested(self) -> bool:
         """Whether any outbound channel is over its high-water mark."""
         return any(ch.congested() for ch in self._channels.values())
+
+    def channel_counters(self) -> Dict[str, Dict[str, int]]:
+        """dst node -> its channel's fault/retransmit/epoch counters."""
+        return {dst: ch.counters()
+                for dst, ch in sorted(self._channels.items())}
+
+    def export_metrics(self, metrics=None) -> None:
+        """Flush per-channel counters into a :class:`MetricSet`.
+
+        Counters land twice: per destination (``chan.<dst>.<name>``,
+        read back with ``MetricSet.channel_counters``) and as cluster
+        totals (``channel_<name>_total``).  Call once at teardown —
+        exporting mid-run would double-count.
+        """
+        sink = metrics if metrics is not None else self.metrics
+        if sink is None:
+            return
+        for dst, counters in self.channel_counters().items():
+            for name, value in counters.items():
+                if value:
+                    sink.count(f"chan.{dst}.{name}", value)
+                sink.count(f"channel_{name}_total", value)
+        if self.fence_failures:
+            sink.count("channel_fence_failures_total", self.fence_failures)
 
     async def close(self) -> None:
         for channel in list(self._channels.values()):
@@ -180,21 +219,42 @@ class RemoteEngineHandle:
     channel, which would silently drop a fence queued through it.
     """
 
-    def __init__(self, engine_id: str, spec: ClusterSpec, peer_id: str):
+    def __init__(self, engine_id: str, spec: ClusterSpec, peer_id: str,
+                 transport: Optional["NetTransport"] = None):
         self.node_id = engine_id
         self.engine_id = engine_id
         self.alive = True
         self._spec = spec
         self._peer_id = peer_id
+        self._transport = transport
 
     def halt(self) -> None:
         self.alive = False
         addresses = self._spec.addresses.get(self.engine_id)
         if addresses:
             asyncio.get_running_loop().create_task(
-                send_fence_once(addresses[0], self._peer_id, self.engine_id),
-                name=f"fence:{self.engine_id}",
+                self._fence(addresses[0]), name=f"fence:{self.engine_id}"
             )
+
+    async def _fence(self, address) -> None:
+        """Deliver the fence within the spec's capped retry budget.
+
+        Exhausting the budget is not fatal to the promotion (the common
+        cause is that the primary is simply dead), but it is recorded:
+        the structured :class:`~repro.errors.FenceDeliveryError` is
+        logged and counted so a partitioned-but-alive primary shows up
+        in the run report instead of vanishing into a silent False.
+        """
+        try:
+            await send_fence_once(
+                address, self._peer_id, self.engine_id,
+                attempts=self._spec.fence_attempts,
+                gap=self._spec.fence_gap_s,
+            )
+        except FenceDeliveryError as exc:
+            if self._transport is not None:
+                self._transport.fence_failures += 1
+            print(f"fence: {exc}", file=sys.stderr, flush=True)
 
 
 class EngineHost:
@@ -211,6 +271,7 @@ class EngineHost:
                 other.halt()  # zombie: never starts, never speaks
         self.engine: ExecutionEngine = self.deployment.engines[engine_id]
         self.engine.network = transport
+        transport.metrics = self.deployment.metrics
         disable_external_clock_bound(self.engine)
         transport.register(self.engine)
 

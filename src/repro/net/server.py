@@ -157,7 +157,7 @@ class ProcessRuntime:
     async def serve(self, host_factory: Optional[Callable] = None,
                     announce: Callable[[str], None] = print) -> None:
         """Run the full process lifecycle (returns after Shutdown)."""
-        listen_host, listen_port = self.spec.addresses[f"proc:{self.name}"][0]
+        listen_host, listen_port = self.spec.listen_addr(self.name)
         self._server = await asyncio.start_server(
             self._handle_conn, listen_host, listen_port
         )
@@ -176,6 +176,15 @@ class ProcessRuntime:
         await asyncio.sleep(0.1)
         self.rtk.stop()
         await pump
+        self.transport.export_metrics()
+        stats = self.transport.channel_counters()
+        if stats:
+            summary = " ".join(
+                f"{dst}:r{c['reconnects']}/cf{c['connect_failures']}"
+                f"/rs{c['items_resent']}/er{c['epoch_resets']}"
+                for dst, c in stats.items()
+            )
+            print(f"channels: {summary}", file=sys.stderr, flush=True)
         await self.transport.close()
         self._server.close()
         await self._server.wait_closed()

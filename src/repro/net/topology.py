@@ -54,6 +54,20 @@ class ClusterSpec:
     workload: Dict[str, Dict] = field(default_factory=dict)
     #: node id -> ordered [host, port] candidates (primary first).
     addresses: Dict[str, List[Tuple[str, int]]] = field(default_factory=dict)
+    #: process name -> [host, port] to *bind*.  Empty means "bind the
+    #: address everyone dials" (``addresses['proc:<name>'][0]``); the
+    #: chaos runner fills it so processes bind their real ports while
+    #: every dialed address routes through a fault proxy.
+    listen: Dict[str, Tuple[str, int]] = field(default_factory=dict)
+    #: Named transport timeouts/backoff (seconds) and fence retry
+    #: budget.  Chaos runs compress these so partitions and kills are
+    #: detected in test-scale wall time; see docs/chaos.md.
+    connect_timeout_s: float = 2.0
+    handshake_timeout_s: float = 2.0
+    backoff_min_s: float = 0.02
+    backoff_max_s: float = 0.5
+    fence_attempts: int = 10
+    fence_gap_s: float = 0.2
 
     # -- serialization --------------------------------------------------
     def to_json(self) -> str:
@@ -71,11 +85,22 @@ class ClusterSpec:
             node: [(host, int(port)) for host, port in addrs]
             for node, addrs in spec.addresses.items()
         }
+        spec.listen = {
+            process: (host, int(port))
+            for process, (host, port) in spec.listen.items()
+        }
         return spec
 
     # -- derived --------------------------------------------------------
     def replica_node(self, engine_id: str) -> str:
         return f"replica:{engine_id}"
+
+    def listen_addr(self, process: str) -> Tuple[str, int]:
+        """The address the named process binds its server socket to."""
+        override = self.listen.get(process)
+        if override is not None:
+            return tuple(override)
+        return self.addresses[f"proc:{process}"][0]
 
     def engine_config(self) -> EngineConfig:
         if self.replicas <= 0:

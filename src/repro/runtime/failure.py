@@ -4,13 +4,20 @@ Drives the paper's failure model against a deployment: fail-stop engine
 crashes ("causing one or more machines to stop, losing all state and all
 messages in transit") and link failures ("causing loss, re-ordering, or
 duplication of messages sent over physical links").
+
+Faults can be scheduled one call at a time, or as a whole *resolved
+schedule* — the simulator-side half of the shared chaos schedule format
+(:mod:`repro.chaos.schedule`): the same JSON fault script that the chaos
+runner executes against a live multi-process cluster is lowered to
+node-level events and applied here, so the fast deterministic simulation
+doubles as the ground truth for every chaos scenario.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional
 
-from repro.errors import RecoveryError
+from repro.errors import ChaosError, RecoveryError
 from repro.sim.kernel import ms
 
 
@@ -79,3 +86,49 @@ class FailureInjector:
         fault = self.deployment.network.link_fault(src_id, dst_id)
         fault.loss_prob = float(loss_prob)
         fault.dup_prob = float(dup_prob)
+
+    # -- shared schedule format ----------------------------------------------
+    def apply_schedule(self, events: List[Dict]) -> None:
+        """Apply a *resolved* chaos schedule to the simulated deployment.
+
+        ``events`` is the node-level lowering of the shared JSON fault
+        schedule (:meth:`repro.chaos.schedule.ChaosSchedule.sim_events`):
+        dicts carrying ``kind``, an absolute ``at_ticks`` simulated time,
+        and node-id targets.  Supported kinds:
+
+        * ``kill`` — fail-stop the target engine (``node``);
+        * ``partition`` — bidirectional outage between two node groups
+          (``a_nodes`` x ``b_nodes``) for ``duration_ticks``;
+        * ``impair`` — steady loss/duplication on one directed link.
+
+        Timing-only faults of the live plane (latency, throttle, reset,
+        half-open, SIGSTOP windows that end in SIGCONT) have no
+        simulator lowering: the reliability protocol hides them from
+        *content*, which is exactly what the determinism oracle checks,
+        so the schedule resolver drops them before calling this.
+        """
+        for event in events:
+            kind = event.get("kind")
+            at = int(event.get("at_ticks", 0))
+            if kind == "kill":
+                self.kill_engine(event["node"], at=at)
+            elif kind == "partition":
+                duration = int(event["duration_ticks"])
+                for a in event["a_nodes"]:
+                    for b in event["b_nodes"]:
+                        self.link_outage(a, b, at, duration)
+                        self.link_outage(b, a, at, duration)
+            elif kind == "impair":
+                fault = self.deployment.network.link_fault(
+                    event["src"], event["dst"]
+                )
+                loss = float(event.get("loss_prob", 0.0))
+                dup = float(event.get("dup_prob", 0.0))
+                sim = self.deployment.sim
+
+                def _set(f=fault, lo=loss, du=dup) -> None:
+                    f.loss_prob, f.dup_prob = lo, du
+
+                sim.at(at, _set, f"impair:{event['src']}->{event['dst']}")
+            else:
+                raise ChaosError(f"unknown simulated fault kind {kind!r}")

@@ -88,6 +88,24 @@ class MetricSet:
         var = sum((x - mean) ** 2 for x in self._latencies) / (n - 1)
         return math.sqrt(var) / TICKS_PER_US
 
+    def channel_counters(self) -> Dict[str, Dict[str, int]]:
+        """Per-channel transport counters, grouped by destination node.
+
+        The networked transport exports each outbound channel's fault /
+        retransmit / epoch-reset counters as ``chan.<dst>.<name>``
+        counters (see ``NetTransport.export_metrics``); this groups them
+        back into ``{dst: {name: value}}`` for reports and invariant
+        checks.  Empty for purely simulated runs.
+        """
+        grouped: Dict[str, Dict[str, int]] = {}
+        for key, value in self.counters.items():
+            if not key.startswith("chan."):
+                continue
+            dst, _, name = key[len("chan."):].rpartition(".")
+            if dst:
+                grouped.setdefault(dst, {})[name] = value
+        return grouped
+
     def probes_per_message(self) -> float:
         """Curiosity probes divided by end-to-end messages completed."""
         if not self._latencies:

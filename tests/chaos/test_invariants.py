@@ -1,0 +1,120 @@
+"""The post-run invariant checker, on synthetic run results."""
+
+import pytest
+
+from repro.chaos.invariants import (
+    check_invariants,
+    convergence_violations,
+    exactly_once_violations,
+    incarnation_host,
+)
+from repro.chaos.schedule import ChaosEvent, ChaosSchedule
+from repro.errors import UnrecoverableClusterError
+from repro.net.topology import ClusterSpec
+
+
+def spec_for_tests() -> ClusterSpec:
+    return ClusterSpec(
+        engines=["e0", "e1"], replicas=1,
+        workload={"readings": {"n_messages": 10,
+                               "mean_interarrival_ms": 1.0}},
+    )
+
+
+def test_incarnation_host_strips_uuid_and_counter():
+    assert incarnation_host("engine-e0:ab12cd34#3") == "engine-e0"
+    assert incarnation_host("replica-e1:00ff00ff#12") == "replica-e1"
+    assert incarnation_host(None) is None
+    assert incarnation_host("") is None
+
+
+def test_exactly_once_flags_dups_and_gaps():
+    ok = {"sink": [(0, 1, "a"), (1, 2, "b"), (2, 3, "c")]}
+    assert exactly_once_violations(ok) == []
+    dup = {"sink": [(0, 1, "a"), (1, 2, "b"), (1, 2, "b")]}
+    assert any("duplicate" in v for v in exactly_once_violations(dup))
+    gap = {"sink": [(0, 1, "a"), (2, 3, "c")]}
+    assert any("gap" in v for v in exactly_once_violations(gap))
+
+
+def test_convergence_checks_expected_host():
+    spec = spec_for_tests()
+    schedule = ChaosSchedule(events=[
+        ChaosEvent("kill", 5.0, target="engine-e0"),
+    ], seed=3)
+    # Converged on the replica: what the schedule predicts.
+    good = {"e0": "replica-e0:12345678#2", "e1": "engine-e1:abcdefab#1"}
+    assert convergence_violations(spec, schedule, good) == []
+    # Still pointing at the killed engine process: violation.
+    bad = {"e0": "engine-e0:12345678#1"}
+    violations = convergence_violations(spec, schedule, bad)
+    assert len(violations) == 1
+    assert "expected replica-e0" in violations[0]
+    # Unobserved engines (no coordinator channel) are skipped.
+    assert convergence_violations(spec, schedule, {}) == []
+
+
+def make_result(streams, incarnations=None, error=None):
+    return {
+        "streams": streams,
+        "incarnations": incarnations or {},
+        "complete": True,
+        "error": error,
+    }
+
+
+def test_check_invariants_passes_identical_run():
+    spec = spec_for_tests()
+    schedule = ChaosSchedule(events=[], seed=0)
+    reference = {"sink": [(0, 10, "a"), (1, 20, "b")]}
+    verdict = check_invariants(
+        spec, schedule, reference,
+        make_result({"sink": [(0, 10, "a"), (1, 20, "b")]}),
+    )
+    assert verdict["ok"]
+    assert verdict["byte_identical"]
+    assert verdict["exactly_once"]
+    assert verdict["converged"]
+
+
+def test_check_invariants_flags_divergence():
+    spec = spec_for_tests()
+    schedule = ChaosSchedule(events=[], seed=0)
+    reference = {"sink": [(0, 10, "a"), (1, 20, "b")]}
+    verdict = check_invariants(
+        spec, schedule, reference,
+        make_result({"sink": [(0, 10, "a"), (1, 20, "WRONG")]}),
+    )
+    assert not verdict["ok"]
+    assert not verdict["byte_identical"]
+
+
+def test_unsurvivable_incomplete_raises_structured_error():
+    spec = spec_for_tests()
+    schedule = ChaosSchedule(events=[
+        ChaosEvent("kill", 5.0, target="engine-e0"),
+        ChaosEvent("kill", 6.0, target="replica-e0"),
+    ], seed=42)
+    reference = {"sink": [(0, 10, "a"), (1, 20, "b")]}
+    with pytest.raises(UnrecoverableClusterError) as info:
+        check_invariants(spec, schedule, reference,
+                         make_result({"sink": [(0, 10, "a")]}))
+    err = info.value
+    assert "both dead" in err.lost_state
+    assert err.schedule_seed == 42
+    assert (err.delivered, err.expected) == (1, 2)
+    assert "unrecoverable" in str(err)
+
+
+def test_unsurvivable_but_complete_is_judged_normally():
+    """Faults that land after the last output destroy nothing observable."""
+    spec = spec_for_tests()
+    schedule = ChaosSchedule(events=[
+        ChaosEvent("kill", 5000.0, target="engine-e0"),
+        ChaosEvent("kill", 6000.0, target="replica-e0"),
+    ], seed=42)
+    reference = {"sink": [(0, 10, "a")]}
+    verdict = check_invariants(spec, schedule, reference,
+                               make_result({"sink": [(0, 10, "a")]}))
+    assert verdict["byte_identical"]
+    assert verdict["lost_state"] is not None

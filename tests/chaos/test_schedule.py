@@ -1,0 +1,138 @@
+"""The seeded schedule format: determinism, lowering, survivability."""
+
+import pytest
+
+from repro.chaos.schedule import (
+    ChaosEvent,
+    ChaosSchedule,
+    SCENARIOS,
+    generate_schedule,
+)
+from repro.errors import ChaosError
+from repro.net.topology import ClusterSpec, reference_run
+
+
+def spec_for_tests(**overrides) -> ClusterSpec:
+    params = dict(
+        engines=["e0", "e1"],
+        replicas=1,
+        master_seed=7,
+        workload={"readings": {"n_messages": 160,
+                               "mean_interarrival_ms": 1.0}},
+    )
+    params.update(overrides)
+    return ClusterSpec(**params)
+
+
+def test_same_seed_same_schedule():
+    spec = spec_for_tests()
+    for seed in range(12):
+        a = generate_schedule(seed, spec)
+        b = generate_schedule(seed, spec)
+        assert a.to_json() == b.to_json()
+        assert a.log_lines() == b.log_lines()
+
+
+def test_seed_rotation_covers_every_scenario():
+    spec = spec_for_tests()
+    seen = [generate_schedule(seed, spec).scenario
+            for seed in range(len(SCENARIOS))]
+    assert seen == list(SCENARIOS)
+
+
+def test_json_roundtrip_preserves_events():
+    spec = spec_for_tests()
+    schedule = generate_schedule(4, spec)  # kill + partition
+    clone = ChaosSchedule.from_json(schedule.to_json())
+    assert clone.seed == schedule.seed
+    assert clone.scenario == schedule.scenario
+    assert clone.log_lines() == schedule.log_lines()
+
+
+def test_events_validate():
+    with pytest.raises(ChaosError):
+        ChaosEvent("kill", 10.0).validate()  # no target
+    with pytest.raises(ChaosError):
+        ChaosEvent("partition", 10.0, link=("a",)).validate()
+    with pytest.raises(ChaosError):
+        ChaosEvent("meteor", 10.0).validate()
+    with pytest.raises(ChaosError):
+        ChaosEvent("kill", -1.0, target="engine-e0").validate()
+
+
+def test_lost_state_names_unsurvivable_schedules():
+    spec = spec_for_tests()
+    assert generate_schedule(0, spec, "kill_active").lost_state(spec) is None
+    lost = generate_schedule(0, spec, "unsurvivable").lost_state(spec)
+    assert lost is not None and "both dead" in lost
+    # SIGSTOP without SIGCONT counts as dead ...
+    frozen = ChaosSchedule(events=[
+        ChaosEvent("kill", 5.0, target="engine-e0"),
+        ChaosEvent("stop", 6.0, target="replica-e0"),
+    ])
+    assert frozen.lost_state(spec) is not None
+    # ... but a continued freeze does not.
+    thawed = ChaosSchedule(events=[
+        ChaosEvent("kill", 5.0, target="engine-e0"),
+        ChaosEvent("stop", 6.0, target="replica-e0"),
+        ChaosEvent("cont", 7.0, target="replica-e0"),
+    ])
+    assert thawed.lost_state(spec) is None
+    # With no replicas, any engine kill destroys state.
+    bare = spec_for_tests(replicas=0)
+    killed = ChaosSchedule(events=[
+        ChaosEvent("kill", 5.0, target="engine-e0"),
+    ])
+    assert "no replica" in killed.lost_state(bare)
+
+
+def test_expected_hosts_after_kill():
+    spec = spec_for_tests()
+    schedule = ChaosSchedule(events=[
+        ChaosEvent("kill", 5.0, target="engine-e0"),
+        ChaosEvent("stop", 6.0, target="engine-e1"),
+        ChaosEvent("cont", 9.0, target="engine-e1"),
+    ])
+    expected = schedule.expected_hosts(spec)
+    assert expected["e0"] == "replica-e0"
+    assert expected["e1"] is None  # stop/cont duel: either may win
+
+
+def test_sim_lowering_keeps_content_faults_only():
+    spec = spec_for_tests()
+    schedule = ChaosSchedule(events=[
+        ChaosEvent("kill", 50.0, target="engine-e1"),
+        ChaosEvent("kill", 55.0, target="replica-e0"),  # no sim analogue
+        ChaosEvent("partition", 60.0, link=("coordinator", "engine-e0"),
+                   duration_ms=20.0),
+        ChaosEvent("latency", 70.0, link=("coordinator", "engine-e0"),
+                   delay_ms=5.0, duration_ms=10.0),
+        ChaosEvent("reset", 80.0, link=("coordinator", "engine-e0")),
+    ])
+    lowered = schedule.sim_events(spec)
+    kinds = [event["kind"] for event in lowered]
+    assert kinds == ["kill", "partition"]
+    assert lowered[0]["node"] == "e1"
+    assert lowered[1]["duration_ticks"] == 20_000_000
+    assert "e0" in lowered[1]["b_nodes"]
+
+
+def test_sim_replay_of_kill_schedule_matches_clean_reference():
+    """The sim half of the shared-schedule contract: a survivable kill
+    schedule applied in-simulator still yields the reference stream."""
+    from repro.chaos.runner import simulate_with_schedule
+
+    spec = spec_for_tests()
+    schedule = generate_schedule(0, spec, "kill_active")
+    reference = reference_run(spec)
+    observed = simulate_with_schedule(spec, schedule)
+    assert observed == reference
+
+
+def test_stall_budget_counts_windows():
+    schedule = ChaosSchedule(events=[
+        ChaosEvent("partition", 10.0, link=("a", "b"), duration_ms=40.0),
+        ChaosEvent("latency", 20.0, link=("a", "b"), delay_ms=1.0,
+                   duration_ms=99.0),  # latency does not stall
+    ])
+    assert schedule.stall_budget_s(speed=0.1) == pytest.approx(0.4)

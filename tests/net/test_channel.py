@@ -3,9 +3,16 @@
 import asyncio
 import time
 
+import pytest
+
 from repro.core.message import SilenceAdvance
+from repro.errors import FenceDeliveryError
 from repro.net import codec
-from repro.net.channel import OutboundChannel, send_fence_once
+from repro.net.channel import (
+    OutboundChannel,
+    backoff_jitter_rng,
+    send_fence_once,
+)
 
 
 class FakeHost:
@@ -252,3 +259,108 @@ def test_send_fence_once_delivers_fence():
     fence = host.items[0][2]
     assert isinstance(fence, codec.FenceRequest)
     assert fence.engine_id == "e0"
+
+
+def test_send_fence_once_raises_after_capped_attempts():
+    """Nobody listening: the fence path terminates with a structured
+    error after exactly the retry budget, instead of silently giving up."""
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        dead_port = sock.getsockname()[1]
+
+    async def scenario():
+        await send_fence_once(("127.0.0.1", dead_port), "replica:x",
+                              "e0", attempts=3, gap=0.01, timeout=0.2)
+
+    with pytest.raises(FenceDeliveryError) as info:
+        asyncio.run(scenario())
+    err = info.value
+    assert err.engine_id == "e0"
+    assert err.attempts == 3
+    assert "after 3 attempt(s)" in str(err)
+
+
+def test_backoff_jitter_is_seed_deterministic():
+    """Reconnect jitter derives from (seed, process, node) only: the
+    uuid suffix in the peer id must not change the draw (else restarts
+    would desynchronise), while seed and node must."""
+    a = backoff_jitter_rng(7, "engine-e0:ab12cd34", "n")
+    b = backoff_jitter_rng(7, "engine-e0:99999999", "n")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+    c = backoff_jitter_rng(8, "engine-e0:ab12cd34", "n")
+    assert a.random() != c.random()
+    d = backoff_jitter_rng(7, "engine-e1:ab12cd34", "n")
+    e = backoff_jitter_rng(7, "engine-e0:ab12cd34", "m")
+    assert len({a.random(), c.random(), d.random(), e.random()}) > 1
+
+
+def test_partition_then_heal_no_dups_no_epoch_reset():
+    """A connection outage with the host unchanged: the channel resends
+    the unacked tail on the same incarnation — exactly-once delivery,
+    and *no* epoch reset (those are reserved for incarnation changes)."""
+    async def scenario():
+        host = FakeHost()
+        await host.start()
+        channel = OutboundChannel(
+            "sender:1", "n", [("127.0.0.1", host.port)],
+            backoff_min=0.01, backoff_max=0.05,
+            connect_timeout=0.5, handshake_timeout=0.5,
+        )
+        channel.start()
+        for i in range(3):
+            channel.enqueue("src", msg(i))
+        await wait_until(lambda: channel.items_acked == 3)
+        # Partition: the listener goes away entirely and the live
+        # connection is dropped; the channel retries against a dead
+        # address, accruing connect failures.
+        await host.stop()
+        host.kick()
+        for i in range(3, 6):
+            channel.enqueue("src", msg(i))
+        await wait_until(lambda: channel.connect_failures >= 2)
+        # Heal: same host, same incarnation, same port.
+        host.server = await asyncio.start_server(
+            host._conn, "127.0.0.1", host.port
+        )
+        await wait_until(lambda: channel.items_acked == 6)
+        await channel.close()
+        await host.stop()
+        return host, channel
+
+    host, channel = asyncio.run(scenario())
+    # Exactly once, in order, across the outage.
+    assert [seq for seq, _, _ in host.items] == [0, 1, 2, 3, 4, 5]
+    assert [m.through_vt for _, _, m in host.items] == [0, 1, 2, 3, 4, 5]
+    # Epoch resets only on incarnation change — an outage is not one.
+    assert channel.epoch_resets == 0
+    counters = channel.counters()
+    assert counters["connect_failures"] >= 2
+    assert counters["reconnects"] >= 1
+    assert counters["items_acked"] == 6
+
+
+def test_counters_snapshot_shape():
+    async def scenario():
+        host = FakeHost()
+        await host.start()
+        channel = OutboundChannel("sender:1", "n",
+                                  [("127.0.0.1", host.port)])
+        channel.start()
+        channel.enqueue("src", msg(0))
+        await wait_until(lambda: channel.items_acked == 1)
+        await channel.close()
+        await host.stop()
+        return channel.counters()
+
+    counters = asyncio.run(scenario())
+    assert set(counters) == {
+        "items_sent", "items_acked", "items_resent",
+        "reconnects", "connect_failures", "epoch_resets",
+    }
+    assert counters["items_sent"] == 1
+    assert counters["items_acked"] == 1
+    assert counters["items_resent"] == 0
+    assert counters["connect_failures"] == 0
+    assert counters["epoch_resets"] == 0
