@@ -44,6 +44,9 @@ def build_spec(args: argparse.Namespace) -> ClusterSpec:
             "n_messages": args.messages,
             "mean_interarrival_ms": args.mean_ms,
         }},
+        recovery_target_ms=args.recovery_target,
+        audit=args.audit,
+        audit_every=args.audit_every,
         connect_timeout_s=0.5,
         handshake_timeout_s=0.5,
         backoff_min_s=0.02,
@@ -89,6 +92,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--checkpoint-ms", type=float, default=25.0)
     parser.add_argument("--heartbeat-ms", type=float, default=10.0)
     parser.add_argument("--heartbeat-miss", type=int, default=3)
+    parser.add_argument("--recovery-target", type=float, default=None,
+                        metavar="MS",
+                        help="recovery-time objective in simulated ms; "
+                             "engines adapt their checkpoint cadence to "
+                             "keep worst-case replay under it")
+    parser.add_argument("--audit", nargs="?", const="heal", default="off",
+                        choices=("off", "raise", "heal"),
+                        help="divergence audit mode on every engine "
+                             "(bare --audit means heal); corrupt "
+                             "schedules force heal when left off")
+    parser.add_argument("--audit-every", type=int, default=1,
+                        help="audit once per N checkpoint captures")
     parser.add_argument("--timeout", type=float, default=None,
                         help="live-run wall-clock deadline in seconds")
     parser.add_argument("--json", action="store_true", dest="as_json",

@@ -17,6 +17,13 @@ indistinguishable from the failure-free simulation:
    replica after an engine kill, the engine otherwise).  A ``None``
    expectation (e.g. a SIGSTOP/SIGCONT duel) only requires that *some*
    single incarnation won.
+4. **Audit stayed clean under faults** — every audit report collected
+   from a cleanly shut-down child is internally consistent (heal mode:
+   every divergence healed; raise mode: no divergence at all), and
+   every *delivered* state corruption whose host survived the schedule
+   is accounted for by at least one heal on that engine.  Faults the
+   audit cannot see (delivery failed, process later killed) are
+   excluded — the invariant judges the auditor, not the fault plane.
 
 When the schedule is unsurvivable — :meth:`ChaosSchedule.lost_state
 <repro.chaos.schedule.ChaosSchedule.lost_state>` names destroyed state —
@@ -92,6 +99,69 @@ def convergence_violations(
     return violations
 
 
+def audit_violations(
+    spec: ClusterSpec,
+    schedule: ChaosSchedule,
+    result: Dict,
+) -> List[str]:
+    """Divergence-audit violations of one live run.
+
+    ``result`` carries ``audit_reports`` (process name -> the AUDIT
+    summary the child printed at clean shutdown) and, under
+    ``chaos.corrupted``, the corrupt events the driver actually
+    delivered.  Reports only exist for children that shut down cleanly,
+    so a killed process simply contributes nothing — its corruption
+    died with its state.
+    """
+    violations: List[str] = []
+    reports = result.get("audit_reports") or {}
+    for proc, report in sorted(reports.items()):
+        mode = report.get("mode")
+        divergences = int(report.get("divergences", 0))
+        heals = int(report.get("heals", 0))
+        if mode == "raise" and divergences:
+            violations.append(
+                f"{proc}: audit found {divergences} divergence(s) "
+                f"in raise mode"
+            )
+        elif mode == "heal" and heals != divergences:
+            violations.append(
+                f"{proc}: audit healed only {heals}/{divergences} "
+                f"divergence(s)"
+            )
+
+    delivered = (result.get("chaos") or {}).get("corrupted") or []
+    if not delivered:
+        return violations
+    if not reports:
+        violations.append(
+            "state corruption delivered but no audit report collected "
+            "(children crashed, or --audit is off)"
+        )
+        return violations
+    by_engine = {report["engine"]: report
+                 for report in reports.values() if "engine" in report}
+    killed = {e.target for e in schedule.events if e.kind == "kill"}
+    for entry in delivered:
+        target = str(entry.get("target", ""))
+        if target in killed:
+            continue  # the corrupted state died with the process
+        engine_id = target.split("-", 1)[-1]
+        report = by_engine.get(engine_id)
+        if report is None:
+            violations.append(
+                f"{engine_id}: state corrupted but no audit report "
+                f"covers this engine"
+            )
+        elif (report.get("mode") == "heal"
+              and int(report.get("heals", 0)) < 1):
+            violations.append(
+                f"{engine_id}: state corruption delivered but the "
+                f"audit healed nothing"
+            )
+    return violations
+
+
 def check_invariants(
     spec: ClusterSpec,
     schedule: ChaosSchedule,
@@ -134,6 +204,9 @@ def check_invariants(
     )
     violations.extend(converge)
 
+    audit = audit_violations(spec, schedule, result)
+    violations.extend(audit)
+
     if result.get("error"):
         violations.append(f"run error: {result['error']}")
 
@@ -142,6 +215,7 @@ def check_invariants(
         "byte_identical": verdict.deterministic,
         "exactly_once": not once,
         "converged": not converge,
+        "audit_clean": not audit,
         "delivered": delivered,
         "expected": expected,
         "lost_state": lost,

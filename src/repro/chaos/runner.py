@@ -62,7 +62,11 @@ class ChaosDriver:
         self.children: Dict = {}
         #: Applied-action log lines, in application order (diffable).
         self.applied: List[str] = []
+        #: Corrupt events actually handed to a live process (the audit
+        #: invariant only demands heals for corruption that landed).
+        self.corrupted: List[Dict] = []
         self._task: Optional[asyncio.Task] = None
+        self._corrupt_tasks: List[asyncio.Task] = []
         self._actions = self._plan()
 
     # -- planning --------------------------------------------------------
@@ -116,6 +120,10 @@ class ChaosDriver:
                     lambda a=a, b=b: self.proxy.heal_link(a, b))
             elif kind == "heal":
                 add(event.at_ms, event.log_line(), self.proxy.heal_all)
+            elif kind == "corrupt":
+                add(event.at_ms, event.log_line(),
+                    lambda t=event.target, c=event.component or "":
+                        self._corrupt(t, c))
             elif kind == "impair":
                 # Live lowering of a lossy link: periodic hard resets —
                 # TCP either delivers bytes exactly or drops the
@@ -151,6 +159,13 @@ class ChaosDriver:
                 await self._task
             except asyncio.CancelledError:
                 pass
+        for task in self._corrupt_tasks:
+            if not task.done():
+                task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
         await self.proxy.close()
 
     # -- execution -------------------------------------------------------
@@ -166,6 +181,40 @@ class ChaosDriver:
                 line = f"chaos skip {label} ({type(exc).__name__}: {exc})"
             self.applied.append(line)
             self.log(line)
+
+    def _corrupt(self, target: str, component: str) -> None:
+        """Deliver one CorruptRequest to the process hosting ``target``.
+
+        Dials the process's *real* address (``proxy.targets``), not its
+        proxy front: corruption is god-mode fault injection and must
+        land regardless of whatever link faults the schedule has up.
+        Delivery is async (connect + handshake take real time); the
+        spawned task records the outcome when it resolves.
+        """
+        address = self.proxy.targets.get(target)
+        if address is None:
+            raise KeyError(f"no proxied process named {target!r}")
+        engine_id = target.split("-", 1)[-1]
+
+        async def _deliver() -> None:
+            from repro.net.channel import send_corrupt_once
+
+            ok = await send_corrupt_once(
+                address, "chaos-driver", target, engine_id, component,
+            )
+            if ok:
+                self.corrupted.append({
+                    "target": target, "component": component or None,
+                })
+            self.log(f"chaos corrupt "
+                     f"{'delivered to' if ok else 'undeliverable:'} "
+                     f"{target} component={component or 'auto'}")
+
+        self._corrupt_tasks.append(
+            asyncio.get_running_loop().create_task(
+                _deliver(), name=f"corrupt:{target}"
+            )
+        )
 
     def _signal(self, kind: str, target: str) -> None:
         child = self.children.get(target)
@@ -183,6 +232,7 @@ class ChaosDriver:
         return {
             "applied": list(self.applied),
             "pending": max(0, len(self._actions) - len(self.applied)),
+            "corrupted": list(self.corrupted),
             "proxy": self.proxy.report(),
         }
 
@@ -252,6 +302,14 @@ def run_chaos(
     for line in schedule.log_lines():
         log(line)
 
+    if (spec.audit == "off"
+            and any(e.kind == "corrupt" for e in schedule.events)):
+        # A corrupt schedule without the audit is undetectable by
+        # construction; running it that way can only ever pass vacuously.
+        spec.audit = "heal"
+        log("chaos: schedule injects state corruption; enabling "
+            "--audit heal")
+
     report: Dict = {
         "seed": schedule.seed,
         "scenario": schedule.scenario,
@@ -304,7 +362,8 @@ def run_chaos(
         key: value for key, value in result.items()
         if key in ("counts", "complete", "error", "killed", "stutter",
                    "elapsed_s", "child_exit_codes", "epoch_resets",
-                   "incarnations", "channel_counters", "chaos")
+                   "incarnations", "channel_counters", "chaos",
+                   "audit_reports")
     }
     report["verdict"] = verdict
     report["ok"] = verdict["ok"] and report.get("sim", {}).get(

@@ -31,6 +31,10 @@ Event kinds
 ``impair``      steady ``loss_prob``/``dup_prob`` on ``link`` (simulator
                 frame faults; the live lowering is periodic resets —
                 TCP's version of a lossy link)
+``corrupt``     plant an untracked state mutation in ``target``'s
+                engine (optionally naming the victim ``component``) —
+                invisible to delta checkpoints, caught only by the
+                divergence audit (``--audit``)
 ==============  ========================================================
 
 ``target`` is a process name (``engine-e0``, ``replica-e0``,
@@ -52,13 +56,17 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ChaosError
-from repro.net.topology import ClusterSpec, plan_cluster_nodes
+from repro.net.topology import (
+    ClusterSpec,
+    component_placement,
+    plan_cluster_nodes,
+)
 from repro.sim.kernel import ms
 
 #: Schedule document version; bump on incompatible format changes.
 SCHEDULE_VERSION = 1
 
-_PROCESS_KINDS = ("kill", "stop", "cont")
+_PROCESS_KINDS = ("kill", "stop", "cont", "corrupt")
 _LINK_KINDS = ("partition", "latency", "throttle", "reset", "half_open",
                "impair")
 
@@ -76,6 +84,9 @@ class ChaosEvent:
     rate_bps: Optional[float] = None
     loss_prob: Optional[float] = None
     dup_prob: Optional[float] = None
+    #: "corrupt" only: name of the component whose state to mutate
+    #: (None = auto-pick the first corruptible cell on the engine).
+    component: Optional[str] = None
 
     def validate(self) -> None:
         if self.kind in _PROCESS_KINDS:
@@ -95,6 +106,8 @@ class ChaosEvent:
             out["target"] = self.target
         if self.link is not None:
             out["link"] = list(self.link)
+        if self.component is not None:
+            out["component"] = self.component
         for key in ("duration_ms", "delay_ms", "rate_bps",
                     "loss_prob", "dup_prob"):
             value = getattr(self, key)
@@ -105,7 +118,8 @@ class ChaosEvent:
     @classmethod
     def from_dict(cls, raw: Dict) -> "ChaosEvent":
         known = {"kind", "at_ms", "target", "link", "duration_ms",
-                 "delay_ms", "rate_bps", "loss_prob", "dup_prob"}
+                 "delay_ms", "rate_bps", "loss_prob", "dup_prob",
+                 "component"}
         unknown = set(raw) - known
         if unknown:
             raise ChaosError(f"unknown event keys: {sorted(unknown)}")
@@ -117,6 +131,7 @@ class ChaosEvent:
             duration_ms=raw.get("duration_ms"),
             delay_ms=raw.get("delay_ms"), rate_bps=raw.get("rate_bps"),
             loss_prob=raw.get("loss_prob"), dup_prob=raw.get("dup_prob"),
+            component=raw.get("component"),
         )
         event.validate()
         return event
@@ -128,6 +143,8 @@ class ChaosEvent:
             parts.append(self.target)
         if self.link:
             parts.append("<->".join(self.link))
+        if self.component:
+            parts.append(f"component={self.component}")
         for key in ("duration_ms", "delay_ms", "rate_bps",
                     "loss_prob", "dup_prob"):
             value = getattr(self, key)
@@ -267,6 +284,18 @@ class ChaosSchedule:
                                 "loss_prob": event.loss_prob or 0.0,
                                 "dup_prob": event.dup_prob or 0.0,
                             })
+            elif (event.kind == "corrupt"
+                  and event.target.startswith("engine-")):
+                # Content fault by construction: the mutation bypasses
+                # dirty tracking, so only the audit distinguishes the
+                # run from a clean one.  (The generator never combines
+                # corrupt with a kill of the same engine — the live
+                # no-op against a dead process has no sim equivalent.)
+                lowered.append({
+                    "kind": "corrupt", "at_ticks": at_ticks,
+                    "node": event.target[len("engine-"):],
+                    "component": event.component,
+                })
         return lowered
 
     # -- expectations for the invariant checker --------------------------
@@ -396,6 +425,28 @@ def _gen_stop_cont(rng, spec):
     ]
 
 
+def _gen_corrupt_state(rng, spec):
+    """Plant untracked state corruption the divergence audit must heal.
+
+    Prefers the pipeline's ``enricher``: its MapCell state is shipped
+    through dirty-tracked deltas but never read back into the output
+    path, so the corruption is invisible both to checkpoints *and* to
+    the byte-identity oracle — only the audit (``--audit``) can tell
+    this run from a clean one, which is exactly what the scenario
+    exercises.  Falls back to auto-picking a cell on a random engine
+    for non-pipeline apps.
+    """
+    span = _span_ms(spec)
+    victim = _pick_engine(rng, spec)
+    component = None
+    placement = component_placement(spec)
+    if "enricher" in placement:
+        component = "enricher"
+        victim = placement["enricher"]
+    return [ChaosEvent("corrupt", rng.uniform(0.25, 0.45) * span,
+                       target=f"engine-{victim}", component=component)]
+
+
 def _gen_unsurvivable(rng, spec):
     """Kill an engine *and* its replica: state is genuinely lost."""
     span = _span_ms(spec)
@@ -420,6 +471,8 @@ SCENARIOS = {
     "partition_promotion": _gen_partition_promotion,
     "latency_throttle": _gen_latency_throttle,
     "stop_cont": _gen_stop_cont,
+    # Appended last so seeds 0..6 keep their historical scenarios.
+    "corrupt_state": _gen_corrupt_state,
 }
 
 EXTRA_SCENARIOS = {

@@ -54,6 +54,29 @@ class SchedulingError(TartError):
     """The deterministic scheduler detected an impossible situation."""
 
 
+class DivergenceError(StateError):
+    """The live engine state diverged from the checkpoint-chain rebuild.
+
+    Raised by the divergence auditor (``repro.runtime.audit``) in
+    ``raise`` mode when a component's live canonical bytes no longer
+    match the state rebuilt from the last full checkpoint chain plus the
+    current delta — i.e. an untracked mutation (bit flip, out-of-band
+    write) corrupted checkpointable state.  ``engine_id`` names the
+    engine, ``cp_seq`` the checkpoint chain position audited against,
+    and ``components`` the component names whose bytes differed.
+    """
+
+    def __init__(self, engine_id: str, cp_seq: int, components):
+        names = ", ".join(sorted(components))
+        super().__init__(
+            f"{engine_id}: live state diverged from checkpoint chain "
+            f"at cp_seq {cp_seq} in component(s): {names}"
+        )
+        self.engine_id = engine_id
+        self.cp_seq = cp_seq
+        self.components = tuple(sorted(components))
+
+
 class DeterminismFaultError(TartError):
     """A determinism fault could not be logged synchronously.
 

@@ -392,3 +392,52 @@ async def send_fence_once(address: Tuple[str, int], peer_id: str,
             except (ConnectionError, OSError):
                 pass
     raise FenceDeliveryError(engine_id, address, max(1, attempts))
+
+
+async def send_corrupt_once(address: Tuple[str, int], peer_id: str,
+                            process: str, engine_id: str,
+                            component: str = "", attempts: int = 10,
+                            gap: float = 0.2,
+                            timeout: float = FENCE_TIMEOUT_S) -> bool:
+    """One-shot chaos fault: ask ``process`` to corrupt an engine's state.
+
+    Follows the fence path's connect/handshake shape, but addresses the
+    target's always-hosted ``proc:<process>`` control node rather than
+    the engine node, so the fault lands whether the engine is in its
+    primary process or was promoted into its replica's.  Returns True
+    when the request was handed over, False on NOT_HERE; exhausting the
+    retry budget returns False too — a corruption that cannot be
+    delivered (process already dead) is a no-op fault, not an error.
+    """
+    host, port = address
+    control = f"proc:{process}"
+    for _ in range(max(1, attempts)):
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), timeout=timeout
+            )
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            await asyncio.sleep(gap)
+            continue
+        try:
+            writer.write(codec.encode_hello(peer_id, control))
+            await writer.drain()
+            frame = await asyncio.wait_for(codec.read_frame(reader),
+                                           timeout=timeout)
+            if frame is not None and frame[0] == codec.FRAME_WELCOME:
+                writer.write(codec.encode_item(
+                    0, peer_id, control,
+                    codec.CorruptRequest(engine_id, component),
+                ))
+                await writer.drain()
+                return True
+            return False
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            await asyncio.sleep(gap)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+    return False

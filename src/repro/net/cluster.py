@@ -109,6 +109,9 @@ class ChildProcess:
             text=True, bufsize=1,
         )
         self.ready = threading.Event()
+        #: Parsed AUDIT report printed at clean shutdown (None if the
+        #: child crashed or ran without audit/cadence enabled).
+        self.audit: Optional[Dict] = None
         self._reader = threading.Thread(
             target=self._pump_stdout, name=f"stdout:{name}", daemon=True
         )
@@ -120,6 +123,12 @@ class ChildProcess:
             line = line.rstrip("\n")
             if line == "READY":
                 self.ready.set()
+            elif line.startswith("AUDIT "):
+                try:
+                    self.audit = json.loads(line[len("AUDIT "):])
+                except ValueError:
+                    print(f"[{self.name}] unparseable {line!r}",
+                          file=sys.stderr, flush=True)
             elif line:
                 print(f"[{self.name}] {line}", file=sys.stderr, flush=True)
 
@@ -148,6 +157,10 @@ class ChildProcess:
             except subprocess.TimeoutExpired:
                 self.proc.kill()
                 return self.proc.wait()
+        finally:
+            # Let the reader drain the final stdout lines (the AUDIT
+            # report races process exit otherwise).
+            self._reader.join(timeout=2.0)
 
 
 def free_port() -> int:
@@ -322,6 +335,9 @@ async def run_networked(
         epoch_resets=epoch_resets,
         incarnations=incarnations,
         channel_counters=channel_counters,
+        audit_reports={name: child.audit
+                       for name, child in children.items()
+                       if child.audit is not None},
     )
     if chaos is not None:
         result["chaos"] = chaos.report()
@@ -343,6 +359,9 @@ def build_spec(args: argparse.Namespace) -> ClusterSpec:
             "n_messages": args.messages,
             "mean_interarrival_ms": args.mean_ms,
         }},
+        recovery_target_ms=args.recovery_target,
+        audit=args.audit,
+        audit_every=args.audit_every,
     )
 
 
@@ -387,6 +406,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--checkpoint-ms", type=float, default=25.0)
     parser.add_argument("--heartbeat-ms", type=float, default=10.0)
     parser.add_argument("--heartbeat-miss", type=int, default=3)
+    parser.add_argument("--recovery-target", type=float, default=None,
+                        metavar="MS",
+                        help="recovery-time objective in simulated ms; "
+                             "engines adapt checkpoint cadence so "
+                             "worst-case replay stays under it "
+                             "(--checkpoint-ms becomes the initial "
+                             "interval)")
+    parser.add_argument("--audit", nargs="?", const="heal", default="off",
+                        choices=("off", "raise", "heal"),
+                        help="run the continuous divergence audit on "
+                             "every engine (bare --audit means heal)")
+    parser.add_argument("--audit-every", type=int, default=1,
+                        help="audit once per N checkpoint captures")
     parser.add_argument("--timeout", type=float, default=None,
                         help="per-run wall-clock deadline in seconds")
     parser.add_argument("--skip-clean", action="store_true",
@@ -416,6 +448,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             "--heartbeat-ms", str(args.heartbeat_ms),
             "--heartbeat-miss", str(args.heartbeat_miss),
         ]
+        if args.recovery_target is not None:
+            chaos_argv += ["--recovery-target", str(args.recovery_target)]
+        if args.audit != "off":
+            chaos_argv += ["--audit", args.audit]
+        if args.audit_every != 1:
+            chaos_argv += ["--audit-every", str(args.audit_every)]
         if args.timeout is not None:
             chaos_argv += ["--timeout", str(args.timeout)]
         if args.as_json:
@@ -476,6 +514,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                  f"{result['killed']['at_outputs']} outputs"
                  if result["killed"] else ""),
               file=sys.stderr, flush=True)
+        for proc, audit in sorted(result.get("audit_reports", {}).items()):
+            print(f"{label}: audit[{proc}]: "
+                  f"{json.dumps(audit, sort_keys=True)}",
+                  file=sys.stderr, flush=True)
         if result["error"]:
             print(f"{label}: error: {result['error']}",
                   file=sys.stderr, flush=True)

@@ -96,6 +96,21 @@ class FenceRequest:
     engine_id: str
 
 
+@dataclass(frozen=True)
+class CorruptRequest:
+    """Chaos fault: corrupt the named engine's live state in place.
+
+    Delivered by the chaos driver to the process hosting ``engine_id``;
+    the handler plants an untracked mutation (see
+    :func:`repro.runtime.audit.corrupt_component_state`) that only the
+    divergence audit can observe.  ``component`` optionally names the
+    victim component (empty string = auto-pick).
+    """
+
+    engine_id: str
+    component: str = ""
+
+
 #: tag -> class for everything that may appear inside an ITEM frame.
 #: Tags 1..N cover the core message types in their registry order;
 #: transport types occupy a reserved block from 32.
@@ -105,6 +120,7 @@ MESSAGE_TAGS: Dict[int, Type] = {
     32: GoSignal,
     33: Shutdown,
     34: FenceRequest,
+    35: CorruptRequest,
 }
 
 _TAG_OF: Dict[Type, int] = {cls: tag for tag, cls in MESSAGE_TAGS.items()}

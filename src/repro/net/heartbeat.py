@@ -107,6 +107,16 @@ class ReplicaHost:
         # peers' channels epoch-reset on the next WELCOME and re-route.
         self.engines[engine_id] = engine
         self.network.register(engine)
+        engine.on_heal = lambda: self.network.register(engine)
         engine.start()  # local heartbeats now feed the local detector
         engine.begin_recovery()
         return engine
+
+    def audit_report(self):
+        """Audit/cadence outcome of the promoted engine, if any."""
+        from repro.net.node import engine_audit_report
+
+        engine = self.engines.get(self.engine_id)
+        if not isinstance(engine, ExecutionEngine):
+            return None  # never promoted: nothing ran here
+        return engine_audit_report(engine)

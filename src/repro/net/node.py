@@ -274,10 +274,37 @@ class EngineHost:
         transport.metrics = self.deployment.metrics
         disable_external_clock_bound(self.engine)
         transport.register(self.engine)
+        # A self-heal rewrites the engine's state in place; re-registering
+        # turns the epoch bump into a real transport incarnation, so new
+        # handshakes see a fresh identity for the healed node.
+        self.engine.on_heal = lambda: transport.register(self.engine)
 
     def start(self) -> None:
         """Begin checkpointing and heartbeats (post-GO)."""
         self.engine.start()
+
+    def audit_report(self):
+        """Audit/cadence outcome for the teardown report line."""
+        return engine_audit_report(self.engine)
+
+
+def engine_audit_report(engine: ExecutionEngine):
+    """Structured audit + cadence summary of one engine (None if both
+    features are off — the server then prints no AUDIT line)."""
+    if engine.auditor is None and engine.cadence is None:
+        return None
+    report = {"engine": engine.engine_id}
+    if engine.auditor is not None:
+        report.update(engine.auditor.report())
+    if engine.cadence is not None:
+        cadence = engine.cadence
+        report["cadence"] = {
+            "interval_ticks": cadence.interval,
+            "predicted_replay_ticks": cadence.predicted_replay_ticks(),
+            "budget_ticks": cadence._budget_ticks(),
+            "adjustments": cadence.adjustments,
+        }
+    return report
 
 
 def disable_external_clock_bound(engine: ExecutionEngine) -> None:

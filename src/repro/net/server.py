@@ -151,6 +151,22 @@ class ProcessRuntime:
             if node is not None and node.alive:
                 node.halt()
             return True
+        if isinstance(msg, codec.CorruptRequest):
+            # Chaos fault: plant an untracked state mutation.  Injected
+            # through the pump so the corruption lands at a well-defined
+            # simulated instant, like every other state change.
+            def _corrupt(m=msg):
+                node = self.transport.local_node(m.engine_id)
+                if node is None or not node.alive or not hasattr(node, "runtimes"):
+                    return
+                from repro.runtime.audit import corrupt_component_state
+
+                victim = corrupt_component_state(node, m.component or None)
+                print(f"chaos: corrupted {victim} on {m.engine_id}",
+                      file=sys.stderr, flush=True)
+
+            self.rtk.inject(_corrupt)
+            return True
         return False
 
     # -- lifecycle -------------------------------------------------------
@@ -185,6 +201,13 @@ class ProcessRuntime:
                 for dst, c in stats.items()
             )
             print(f"channels: {summary}", file=sys.stderr, flush=True)
+        report = None
+        if self.host is not None and hasattr(self.host, "audit_report"):
+            report = self.host.audit_report()
+        if report is not None:
+            import json
+
+            announce("AUDIT " + json.dumps(report, sort_keys=True))
         await self.transport.close()
         self._server.close()
         await self._server.wait_closed()

@@ -68,6 +68,14 @@ class ClusterSpec:
     backoff_max_s: float = 0.5
     fence_attempts: int = 10
     fence_gap_s: float = 0.2
+    #: Recovery-time objective in simulated milliseconds; when set, each
+    #: engine runs the adaptive cadence controller with this replay
+    #: budget instead of a fixed checkpoint interval.
+    recovery_target_ms: Optional[float] = None
+    #: Continuous divergence audit mode: "off", "raise", or "heal".
+    audit: str = "off"
+    #: Audit before every Nth checkpoint capture.
+    audit_every: int = 1
 
     # -- serialization --------------------------------------------------
     def to_json(self) -> str:
@@ -104,12 +112,25 @@ class ClusterSpec:
 
     def engine_config(self) -> EngineConfig:
         if self.replicas <= 0:
+            if self.recovery_target_ms is not None or self.audit != "off":
+                raise WiringError(
+                    "recovery_target_ms / audit require replicas >= 1 "
+                    "(both ride on the checkpoint chain)"
+                )
             return EngineConfig()
+        target = None
+        if self.recovery_target_ms is not None:
+            from repro.runtime.cadence import RecoveryTarget
+
+            target = RecoveryTarget(max_replay_ticks=ms(self.recovery_target_ms))
         return EngineConfig(
             checkpoint_interval=ms(self.checkpoint_interval_ms),
             full_checkpoint_every=self.full_checkpoint_every,
             heartbeat_interval=ms(self.heartbeat_interval_ms),
             heartbeat_miss_limit=self.heartbeat_miss_limit,
+            recovery_target=target,
+            audit=self.audit,
+            audit_every=self.audit_every,
         )
 
     def workload_span_ticks(self) -> int:
@@ -152,6 +173,20 @@ def contiguous_placement(component_names: List[str],
     for i, name in enumerate(component_names):
         placement[name] = engine_ids[min(i * k // n, k - 1)]
     return placement
+
+
+def component_placement(spec: ClusterSpec) -> Dict[str, str]:
+    """component name -> engine id, as :func:`build_deployment` places it.
+
+    Cheap (no deployment is built): resolves the spec's explicit
+    placement or the default contiguous one.  Used by the chaos
+    schedule generator to aim state-corruption faults at the engine
+    actually hosting a given component.
+    """
+    app = build_application(spec)
+    return dict(spec.placement) or contiguous_placement(
+        app.component_names(), spec.engines
+    )
 
 
 def build_deployment(spec: ClusterSpec,

@@ -17,6 +17,7 @@ re-calibration through the stable fault log.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
@@ -44,6 +45,8 @@ from repro.core.silence_policy import (
 )
 from repro.errors import RecoveryError, SchedulingError, TransportError, WiringError
 from repro.runtime import checkpoint as cpser
+from repro.runtime.audit import AUDIT_MODES, DivergenceAuditor
+from repro.runtime.cadence import CadenceController, RecoveryTarget
 from repro.runtime.metrics import MetricSet
 from repro.sim.jitter import JitterModel, NoJitter
 from repro.sim.kernel import Processor, ProcessorPool, Simulator
@@ -90,6 +93,65 @@ class EngineConfig:
     priority_mode: str = "static"
     #: Static priorities by component name (higher runs first).
     thread_priorities: Dict[str, float] = field(default_factory=dict)
+    #: Recovery-time objective driving adaptive checkpoint cadence; when
+    #: set, :attr:`checkpoint_interval` becomes the controller's initial
+    #: interval rather than a fixed period (see ``repro.runtime.cadence``).
+    recovery_target: Optional[RecoveryTarget] = None
+    #: Continuous divergence audit mode: "off", "raise" (fail loudly on
+    #: divergence), or "heal" (install the chain rebuild and bump the
+    #: incarnation epoch).  See ``repro.runtime.audit``.
+    audit: str = "off"
+    #: Audit before every Nth checkpoint capture.
+    audit_every: int = 1
+    #: Consecutive mid-call checkpoint retries before the engine records
+    #: a stall and backs off to the full interval.
+    checkpoint_max_retries: int = 16
+
+    def __post_init__(self):
+        if (self.checkpoint_interval is not None
+                and self.checkpoint_interval <= 0):
+            raise ValueError(
+                f"checkpoint_interval must be a positive tick count, got "
+                f"{self.checkpoint_interval} (use None to disable "
+                f"checkpointing)"
+            )
+        if self.full_checkpoint_every <= 0:
+            raise ValueError(
+                f"full_checkpoint_every must be positive, got "
+                f"{self.full_checkpoint_every}"
+            )
+        if (self.heartbeat_interval is not None
+                and self.heartbeat_interval <= 0):
+            raise ValueError(
+                f"heartbeat_interval must be a positive tick count, got "
+                f"{self.heartbeat_interval} (use None to disable heartbeats)"
+            )
+        if self.heartbeat_miss_limit < 1:
+            raise ValueError(
+                f"heartbeat_miss_limit must be >= 1, got "
+                f"{self.heartbeat_miss_limit}"
+            )
+        if self.checkpoint_max_retries < 1:
+            raise ValueError(
+                f"checkpoint_max_retries must be >= 1, got "
+                f"{self.checkpoint_max_retries}"
+            )
+        if self.audit not in AUDIT_MODES:
+            raise ValueError(
+                f"audit must be one of {AUDIT_MODES}, got {self.audit!r}"
+            )
+        if self.audit_every < 1:
+            raise ValueError(f"audit_every must be >= 1, got {self.audit_every}")
+        if self.recovery_target is not None and self.checkpoint_interval is None:
+            raise ValueError(
+                "recovery_target requires checkpoint_interval (the "
+                "controller's initial interval)"
+            )
+        if self.audit != "off" and self.checkpoint_interval is None:
+            raise ValueError(
+                "audit requires checkpoint_interval (audits run at "
+                "checkpoint boundaries)"
+            )
 
 
 class _HandlerTuning:
@@ -138,8 +200,32 @@ class ExecutionEngine:
 
         self._cp_seq = cp_seq_start
         self._cp_positions: Dict[int, Dict[int, int]] = {}
+        self._cp_captured_at: Dict[int, int] = {}
         self._cp_ever_full = False
+        self._cp_retries = 0
+        self._last_cp_at: Optional[int] = None
+        self._msgs_at_last_cp = 0
         self._tunings: Dict[tuple, _HandlerTuning] = {}
+
+        #: Bumped by the divergence auditor on every self-heal; the net
+        #: layer maps bumps onto real transport incarnations via on_heal.
+        self.incarnation_epoch = 0
+        self.on_heal: Optional[Callable[[], None]] = None
+        self.cadence: Optional[CadenceController] = None
+        if config.recovery_target is not None:
+            detect = ((config.heartbeat_interval or 0)
+                      * config.heartbeat_miss_limit)
+            self.cadence = CadenceController(
+                config.recovery_target,
+                config.checkpoint_interval,
+                detect_ticks=detect,
+                metrics=metrics,
+            )
+        self.auditor: Optional[DivergenceAuditor] = None
+        if config.audit != "off":
+            self.auditor = DivergenceAuditor(
+                self, config.audit, config.audit_every, cadence=self.cadence
+            )
 
         self._pool: Optional[ProcessorPool] = None
         if config.shared_cpus is not None:
@@ -334,19 +420,47 @@ class ExecutionEngine:
     # ------------------------------------------------------------------
     # Checkpointing (paper II.F.2)
     # ------------------------------------------------------------------
+    def _next_interval(self) -> int:
+        """The checkpoint period: adaptive under a recovery target."""
+        if self.cadence is not None:
+            return self.cadence.next_interval()
+        return self.config.checkpoint_interval
+
     def _checkpoint_tick(self) -> None:
         if not self.alive:
             return
-        interval = self.config.checkpoint_interval
+        interval = self._next_interval()
         if any(rt.mid_call for rt in self.runtimes.values()):
-            # Generator frames cannot snapshot; retry shortly.
-            self.sim.after(max(1, interval // 10), self._checkpoint_tick,
-                           f"cp-retry:{self.engine_id}")
+            # Generator frames cannot snapshot; retry shortly — but only
+            # a bounded number of times, so a component stuck mid-call
+            # surfaces as a counted stall instead of a silent hot loop.
+            self._cp_retries += 1
+            self.metrics.count("checkpoint.retries")
+            if self._cp_retries >= self.config.checkpoint_max_retries:
+                self.metrics.count("checkpoint.stalls")
+                self._cp_retries = 0
+                self.sim.after(interval, self._checkpoint_tick,
+                               f"cp:{self.engine_id}")
+            else:
+                self.sim.after(max(1, interval // 10), self._checkpoint_tick,
+                               f"cp-retry:{self.engine_id}")
             return
-        self.capture_checkpoint()
-        self.sim.after(interval, self._checkpoint_tick, f"cp:{self.engine_id}")
+        self._cp_retries = 0
+        force_full = False
+        avoid_full = False
+        if self.auditor is not None and self.auditor.due():
+            outcome = self.auditor.audit_once()
+            # A heal restarts the chain from healed state; a deferred
+            # heal must not let a full capture launder the corruption
+            # into the chain.
+            force_full = outcome == "healed"
+            avoid_full = outcome == "deferred"
+        self.capture_checkpoint(force_full=force_full, avoid_full=avoid_full)
+        self.sim.after(self._next_interval(), self._checkpoint_tick,
+                       f"cp:{self.engine_id}")
 
-    def capture_checkpoint(self) -> int:
+    def capture_checkpoint(self, force_full: bool = False,
+                           avoid_full: bool = False) -> int:
         """Capture and ship one soft checkpoint; returns its cp_seq."""
         if any(rt.mid_call for rt in self.runtimes.values()):
             raise SchedulingError(
@@ -356,6 +470,12 @@ class ExecutionEngine:
         incremental = self._cp_ever_full and (
             self._cp_seq % self.config.full_checkpoint_every != 0
         )
+        if force_full:
+            incremental = False
+        elif avoid_full and self._cp_ever_full and not incremental:
+            incremental = True
+            self.metrics.count("audit.full_deferred")
+        started = time.perf_counter()
         components = {
             name: rt.snapshot(incremental) for name, rt in self.runtimes.items()
         }
@@ -363,6 +483,7 @@ class ExecutionEngine:
             rt.component.state.mark_clean()
         self._cp_ever_full = True
         blob = cpser.dumps({"components": components})
+        capture_us = (time.perf_counter() - started) * 1e6
         positions: Dict[int, int] = {}
         for rt in self.runtimes.values():
             for wid, wire in rt.in_wires.items():
@@ -370,6 +491,7 @@ class ExecutionEngine:
             for wid, recv in rt.reply_receivers.items():
                 positions[wid] = recv.next_seq
         self._cp_positions[self._cp_seq] = positions
+        self._cp_captured_at[self._cp_seq] = self.sim.now
         self.network.send(
             self.node_id,
             self.config.replica_id,
@@ -377,15 +499,30 @@ class ExecutionEngine:
         )
         self.metrics.count("checkpoints_captured")
         self.metrics.add("checkpoint_bytes", len(blob))
+        if self.auditor is not None:
+            self.auditor.note_checkpoint(self._cp_seq, incremental, blob)
+        if self.cadence is not None:
+            msgs = self.metrics.counter("messages_processed")
+            span = (self.sim.now - self._last_cp_at
+                    if self._last_cp_at is not None else 0)
+            self.cadence.observe_checkpoint(
+                span, msgs - self._msgs_at_last_cp, capture_us, len(blob)
+            )
+            self._msgs_at_last_cp = msgs
+        self._last_cp_at = self.sim.now
         return self._cp_seq
 
     def _on_checkpoint_ack(self, ack: CheckpointAck) -> None:
+        captured_at = self._cp_captured_at.pop(ack.cp_seq, None)
+        if captured_at is not None and self.cadence is not None:
+            self.cadence.observe_ack(self.sim.now - captured_at)
         positions = self._cp_positions.pop(ack.cp_seq, None)
         if positions is None:
             return
         # Drop older pending positions too: a cumulative ack covers them.
         for seq in [s for s in self._cp_positions if s < ack.cp_seq]:
             del self._cp_positions[seq]
+            self._cp_captured_at.pop(seq, None)
         for wire_id, next_seq in positions.items():
             if next_seq == 0:
                 continue
@@ -414,6 +551,19 @@ class ExecutionEngine:
             runtime.request_all_replays()
             self.sim.call_soon(runtime.maybe_dispatch,
                                f"resume:{runtime.component.name}")
+
+    def bump_incarnation_epoch(self) -> None:
+        """Advance the incarnation epoch after a self-heal.
+
+        The epoch records that the engine's state was rewritten in
+        place; the ``on_heal`` hook lets the hosting layer propagate the
+        bump (the networked runtime re-registers the engine so peers see
+        a fresh transport incarnation).
+        """
+        self.incarnation_epoch += 1
+        self.metrics.count("incarnation_epoch_bumps")
+        if self.on_heal is not None:
+            self.on_heal()
 
     # ------------------------------------------------------------------
     # Calibration / determinism faults (paper II.G.4)

@@ -99,7 +99,10 @@ class FailureInjector:
         * ``kill`` — fail-stop the target engine (``node``);
         * ``partition`` — bidirectional outage between two node groups
           (``a_nodes`` x ``b_nodes``) for ``duration_ticks``;
-        * ``impair`` — steady loss/duplication on one directed link.
+        * ``impair`` — steady loss/duplication on one directed link;
+        * ``corrupt`` — untracked state mutation on one engine
+          (``node``, optional ``component``), visible only to the
+          divergence audit.
 
         Timing-only faults of the live plane (latency, throttle, reset,
         half-open, SIGSTOP windows that end in SIGCONT) have no
@@ -130,5 +133,22 @@ class FailureInjector:
                     f.loss_prob, f.dup_prob = lo, du
 
                 sim.at(at, _set, f"impair:{event['src']}->{event['dst']}")
+            elif kind == "corrupt":
+                node_id = event["node"]
+                component = event.get("component")
+                sim = self.deployment.sim
+
+                def _corrupt(n=node_id, c=component) -> None:
+                    engine = self.deployment.engines.get(n)
+                    if engine is None or not engine.alive:
+                        return  # corrupting a dead engine is a no-op fault
+                    from repro.runtime.audit import corrupt_component_state
+
+                    corrupt_component_state(engine, c)
+
+                if at <= sim.now:
+                    sim.call_soon(_corrupt, f"corrupt:{node_id}")
+                else:
+                    sim.at(at, _corrupt, f"corrupt:{node_id}")
             else:
                 raise ChaosError(f"unknown simulated fault kind {kind!r}")

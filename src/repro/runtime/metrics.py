@@ -22,12 +22,21 @@ class MetricSet:
     def __init__(self):
         self.counters: Dict[str, int] = {}
         self.accumulators: Dict[str, int] = {}
+        self.gauges: Dict[str, float] = {}
         self._latencies: List[int] = []
 
     # -- write side ------------------------------------------------------
     def count(self, name: str, n: int = 1) -> None:
         """Increment a counter."""
         self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set a gauge to its latest observed value (last write wins).
+
+        Gauges carry point-in-time control-loop state (e.g. the cadence
+        controller's current interval) rather than monotonic totals.
+        """
+        self.gauges[name] = value
 
     def add(self, name: str, amount: int) -> None:
         """Add to an accumulator."""
@@ -45,6 +54,10 @@ class MetricSet:
     def accumulator(self, name: str) -> int:
         """Accumulator value (0 if never added to)."""
         return self.accumulators.get(name, 0)
+
+    def gauge_value(self, name: str, default: float = 0.0) -> float:
+        """Latest gauge value (``default`` if never set)."""
+        return self.gauges.get(name, default)
 
     @property
     def latencies(self) -> List[int]:

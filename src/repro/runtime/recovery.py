@@ -77,6 +77,12 @@ class RecoveryManager:
         self.deployment.metrics.count("failovers_completed")
         self.deployment.metrics.add("failover_downtime_ticks",
                                     active_at - failed_at)
+        # Close the cadence loop: the promoted engine's controller learns
+        # what a real failover cost, so its interval choice reflects
+        # observed (not assumed) recovery behaviour.
+        successor = self.deployment.engines[engine_id]
+        if successor.cadence is not None:
+            successor.cadence.observe_failover(active_at - failed_at)
 
     def in_progress(self, engine_id: str) -> bool:
         """Whether a failover for this engine is currently underway."""

@@ -17,7 +17,7 @@ from typing import Any, Dict, List, Optional
 from repro.core.message import CheckpointAck, CheckpointData
 from repro.errors import RecoveryError
 from repro.runtime import checkpoint as cpser
-from repro.runtime.state_merge import merge_component_snapshots
+from repro.runtime.state_merge import fold_chain
 
 
 class PassiveReplica:
@@ -91,15 +91,10 @@ class PassiveReplica:
         _, incremental, base = self._chain[0]
         if incremental:  # pragma: no cover - guarded at receive()
             raise RecoveryError("chain does not start with a full checkpoint")
-        merged: Dict[str, dict] = {
-            name: snap for name, snap in base["components"].items()
-        }
-        for _, _, delta in self._chain[1:]:
-            for name, snap in delta["components"].items():
-                if name not in merged:
-                    raise RecoveryError(
-                        f"replica {self.node_id}: delta for unknown "
-                        f"component {name!r}"
-                    )
-                merged[name] = merge_component_snapshots(merged[name], snap)
-        return merged
+        try:
+            return fold_chain(
+                base["components"],
+                (delta["components"] for _, _, delta in self._chain[1:]),
+            )
+        except RecoveryError as exc:
+            raise RecoveryError(f"replica {self.node_id}: {exc}") from exc

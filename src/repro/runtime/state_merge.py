@@ -14,7 +14,7 @@ small); merging therefore:
 
 from __future__ import annotations
 
-from typing import Any, Dict
+from typing import Any, Dict, Iterable
 
 from repro.core.state import _DELETED
 from repro.errors import RecoveryError
@@ -71,4 +71,22 @@ def merge_component_snapshots(base: Dict, delta: Dict) -> Dict:
     merged["cells_incremental"] = False
     for field in _METADATA_FIELDS:
         merged[field] = delta[field]
+    return merged
+
+
+def fold_chain(base: Dict[str, Dict],
+               deltas: Iterable[Dict[str, Dict]]) -> Dict[str, Dict]:
+    """Fold delta component maps onto a base component map in order.
+
+    ``base`` maps component name to full snapshot; each element of
+    ``deltas`` maps component name to a delta (or newer full) snapshot.
+    This is the single chain-materialization rule shared by the passive
+    replica (at promotion) and the divergence auditor (continuously).
+    """
+    merged = dict(base)
+    for delta in deltas:
+        for name, snap in delta.items():
+            if name not in merged:
+                raise RecoveryError(f"delta for unknown component {name!r}")
+            merged[name] = merge_component_snapshots(merged[name], snap)
     return merged

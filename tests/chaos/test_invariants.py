@@ -118,3 +118,98 @@ def test_unsurvivable_but_complete_is_judged_normally():
                                make_result({"sink": [(0, 10, "a")]}))
     assert verdict["byte_identical"]
     assert verdict["lost_state"] is not None
+
+
+class TestAuditViolations:
+    def _result(self, reports=None, corrupted=None):
+        result = make_result({"sink": []})
+        if reports is not None:
+            result["audit_reports"] = reports
+        result["chaos"] = {"corrupted": corrupted or []}
+        return result
+
+    def _schedule(self, events=()):
+        return ChaosSchedule(events=list(events), seed=7)
+
+    def test_clean_reports_no_corruption_pass(self):
+        from repro.chaos.invariants import audit_violations
+
+        spec = spec_for_tests()
+        reports = {"engine-e0": {"mode": "heal", "engine": "e0",
+                                 "checks": 9, "divergences": 0,
+                                 "heals": 0}}
+        assert audit_violations(spec, self._schedule(),
+                                self._result(reports)) == []
+
+    def test_raise_mode_divergence_is_a_violation(self):
+        from repro.chaos.invariants import audit_violations
+
+        spec = spec_for_tests()
+        reports = {"engine-e0": {"mode": "raise", "engine": "e0",
+                                 "divergences": 1, "heals": 0}}
+        violations = audit_violations(spec, self._schedule(),
+                                      self._result(reports))
+        assert any("raise mode" in v for v in violations)
+
+    def test_unhealed_divergence_is_a_violation(self):
+        from repro.chaos.invariants import audit_violations
+
+        spec = spec_for_tests()
+        reports = {"engine-e0": {"mode": "heal", "engine": "e0",
+                                 "divergences": 2, "heals": 1}}
+        violations = audit_violations(spec, self._schedule(),
+                                      self._result(reports))
+        assert any("healed only 1/2" in v for v in violations)
+
+    def test_delivered_corruption_must_be_healed(self):
+        from repro.chaos.invariants import audit_violations
+
+        spec = spec_for_tests()
+        corrupted = [{"target": "engine-e0", "component": "enricher"}]
+        healed = {"engine-e0": {"mode": "heal", "engine": "e0",
+                                "divergences": 1, "heals": 1}}
+        assert audit_violations(spec, self._schedule(),
+                                self._result(healed, corrupted)) == []
+        ignored = {"engine-e0": {"mode": "heal", "engine": "e0",
+                                 "divergences": 0, "heals": 0}}
+        violations = audit_violations(spec, self._schedule(),
+                                      self._result(ignored, corrupted))
+        assert any("healed nothing" in v for v in violations)
+
+    def test_corruption_without_any_report_is_a_violation(self):
+        from repro.chaos.invariants import audit_violations
+
+        spec = spec_for_tests()
+        corrupted = [{"target": "engine-e0", "component": None}]
+        violations = audit_violations(spec, self._schedule(),
+                                      self._result({}, corrupted))
+        assert any("no audit report" in v for v in violations)
+
+    def test_corruption_on_killed_process_is_excused(self):
+        from repro.chaos.invariants import audit_violations
+
+        spec = spec_for_tests()
+        schedule = self._schedule([
+            ChaosEvent("corrupt", 30.0, target="engine-e0",
+                       component="enricher"),
+            ChaosEvent("kill", 40.0, target="engine-e0"),
+        ])
+        corrupted = [{"target": "engine-e0", "component": "enricher"}]
+        reports = {"engine-e1": {"mode": "heal", "engine": "e1",
+                                 "divergences": 0, "heals": 0}}
+        assert audit_violations(spec, schedule,
+                                self._result(reports, corrupted)) == []
+
+    def test_verdict_carries_audit_clean(self):
+        spec = spec_for_tests()
+        schedule = ChaosSchedule(events=[], seed=0)
+        reference = {"sink": [(0, 10, "a")]}
+        result = make_result({"sink": [(0, 10, "a")]})
+        result["audit_reports"] = {
+            "engine-e0": {"mode": "heal", "engine": "e0",
+                          "divergences": 1, "heals": 0},
+        }
+        verdict = check_invariants(spec, schedule, reference, result)
+        assert not verdict["ok"]
+        assert not verdict["audit_clean"]
+        assert verdict["byte_identical"]

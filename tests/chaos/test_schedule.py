@@ -136,3 +136,77 @@ def test_stall_budget_counts_windows():
                    duration_ms=99.0),  # latency does not stall
     ])
     assert schedule.stall_budget_s(speed=0.1) == pytest.approx(0.4)
+
+
+class TestCorruptScenario:
+    def test_appended_last_keeps_historical_seed_mapping(self):
+        # Adding corrupt_state must not reshuffle which scenario a
+        # historical seed selects — it is appended, never inserted.
+        assert list(SCENARIOS) == [
+            "kill_active", "kill_replica", "partition_heal",
+            "double_fault", "partition_promotion", "latency_throttle",
+            "stop_cont", "corrupt_state",
+        ]
+        spec = spec_for_tests()
+        assert generate_schedule(7, spec).scenario == "corrupt_state"
+
+    def test_generator_targets_the_enricher(self):
+        from repro.net.topology import component_placement
+
+        spec = spec_for_tests()
+        schedule = generate_schedule(7, spec, "corrupt_state")
+        (event,) = schedule.events
+        assert event.kind == "corrupt"
+        assert event.component == "enricher"
+        placement = component_placement(spec)
+        assert event.target == f"engine-{placement['enricher']}"
+
+    def test_component_survives_json_roundtrip(self):
+        schedule = ChaosSchedule(events=[
+            ChaosEvent("corrupt", 30.0, target="engine-e0",
+                       component="enricher"),
+        ], seed=7, scenario="corrupt_state")
+        clone = ChaosSchedule.from_json(schedule.to_json())
+        (event,) = clone.events
+        assert event.component == "enricher"
+        assert "component=enricher" in event.log_line()
+
+    def test_validation_requires_target(self):
+        with pytest.raises(ChaosError):
+            ChaosEvent("corrupt", 10.0).validate()
+        ChaosEvent("corrupt", 10.0, target="engine-e0").validate()
+
+    def test_corrupt_is_non_lethal(self):
+        spec = spec_for_tests()
+        schedule = ChaosSchedule(events=[
+            ChaosEvent("corrupt", 30.0, target="engine-e0",
+                       component="enricher"),
+        ])
+        assert schedule.lost_state(spec) is None
+        assert schedule.expected_hosts(spec)["e0"] == "engine-e0"
+
+    def test_sim_lowering_carries_component(self):
+        spec = spec_for_tests()
+        schedule = ChaosSchedule(events=[
+            ChaosEvent("corrupt", 30.0, target="engine-e1",
+                       component="enricher"),
+            ChaosEvent("corrupt", 35.0, target="replica-e0"),  # no analogue
+        ])
+        lowered = schedule.sim_events(spec)
+        assert len(lowered) == 1
+        assert lowered[0]["kind"] == "corrupt"
+        assert lowered[0]["node"] == "e1"
+        assert lowered[0]["component"] == "enricher"
+        assert lowered[0]["at_ticks"] == 30_000_000
+
+    def test_sim_replay_heals_and_matches_clean_reference(self):
+        """The sim half of the contract for corruption: the schedule's
+        untracked state corruption is healed by the audit and the output
+        stays byte-identical to the failure-free reference."""
+        from repro.chaos.runner import simulate_with_schedule
+
+        spec = spec_for_tests(audit="heal")
+        schedule = generate_schedule(7, spec, "corrupt_state")
+        reference = reference_run(spec)
+        observed = simulate_with_schedule(spec, schedule)
+        assert observed == reference

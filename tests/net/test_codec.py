@@ -99,6 +99,19 @@ def test_message_bytes_roundtrip():
     assert codec.encode_message_bytes(restored) == blob
 
 
+def test_corrupt_request_roundtrip_and_pinned_tag():
+    msg = codec.CorruptRequest(engine_id="e0", component="enricher")
+    restored = codec.decode_message_bytes(codec.encode_message_bytes(msg))
+    assert restored == msg
+    assert type(restored) is codec.CorruptRequest
+    # Tag 35 is permanent: renumbering is a wire format break.
+    assert codec.MESSAGE_TAGS[35] is codec.CorruptRequest
+    # Empty component (= auto-pick) survives the trip.
+    bare = codec.CorruptRequest(engine_id="e1")
+    assert codec.decode_message_bytes(
+        codec.encode_message_bytes(bare)) == bare
+
+
 def test_splitter_reassembles_byte_by_byte():
     frames = [
         codec.encode_hello("p", "n"),

@@ -1,0 +1,159 @@
+"""Property tests: chain materialization is exact, byte for byte.
+
+The passive replica's promotion and the divergence auditor's continuous
+rebuild both stand on one identity: a full component snapshot plus any
+chain of delta snapshots, folded through
+:func:`~repro.runtime.state_merge.fold_chain`, must equal the direct
+full snapshot taken at the end of the chain — not just structurally but
+under the canonical serializer (:mod:`repro.runtime.checkpoint`), since
+that is the byte comparison the auditor performs.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.state import MapCell, StateRegistry, ValueCell
+from repro.errors import RecoveryError
+from repro.runtime import checkpoint as cpser
+from repro.runtime.state_merge import (
+    fold_chain,
+    merge_cell,
+    merge_component_snapshots,
+)
+
+keys = st.sampled_from(["a", "b", "c", "d", "e"])
+values = st.one_of(st.integers(), st.text(max_size=5),
+                   st.lists(st.integers(), max_size=3))
+
+# An op stream over one registry (a MapCell and a ValueCell) with two
+# kinds of checkpoint boundaries: incremental and full.
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("map_set"), keys, values),
+        st.tuples(st.just("map_del"), keys, st.none()),
+        st.tuples(st.just("val_set"), st.none(), values),
+        st.tuples(st.just("checkpoint"), st.none(), st.none()),
+        st.tuples(st.just("full_checkpoint"), st.none(), st.none()),
+    ),
+    max_size=60,
+)
+
+
+def _registry() -> StateRegistry:
+    reg = StateRegistry("comp")
+    reg.map("m", {"a": 1})
+    reg.value("v", 0)
+    reg.seal()
+    return reg
+
+
+def _component_snapshot(reg: StateRegistry, incremental: bool,
+                        vt: int) -> dict:
+    """A component runtime snapshot shape around the registry's cells.
+
+    Metadata fields carry ``vt`` so the test also proves metadata is
+    taken wholesale from the newest element of the chain.
+    """
+    cells = reg.delta_snapshot() if incremental else reg.full_snapshot()
+    return {
+        "cells": cells,
+        "cells_incremental": incremental,
+        "component_vt": vt,
+        "max_arrived_vt": vt,
+        "next_call_id": vt,
+        "receivers": {"peer": vt},
+        "reply_receivers": {},
+        "senders": {},
+        "silence": {},
+        "pending": [],
+    }
+
+
+def _apply(reg: StateRegistry, op: str, key, value) -> None:
+    cells = reg.cells()
+    if op == "map_set":
+        cells["m"][key] = value
+    elif op == "map_del":
+        if key in cells["m"]:
+            del cells["m"][key]
+    elif op == "val_set":
+        cells["v"].set(value)
+
+
+@given(ops)
+def test_full_plus_delta_chain_equals_direct_full(op_list):
+    reg = _registry()
+    base = _component_snapshot(reg, incremental=False, vt=0)
+    reg.mark_clean()
+    chain = []
+    vt = 0
+    for op, key, value in op_list:
+        if op in ("checkpoint", "full_checkpoint"):
+            vt += 1
+            chain.append(_component_snapshot(
+                reg, incremental=(op == "checkpoint"), vt=vt))
+            reg.mark_clean()
+        else:
+            _apply(reg, op, key, value)
+    # Closing delta so the live tail is always covered by the chain.
+    vt += 1
+    chain.append(_component_snapshot(reg, incremental=True, vt=vt))
+    reg.mark_clean()
+
+    rebuilt = fold_chain({"comp": base},
+                         ({"comp": delta} for delta in chain))["comp"]
+    direct = _component_snapshot(reg, incremental=False, vt=vt)
+    assert cpser.dumps(rebuilt) == cpser.dumps(direct)
+
+
+@given(st.dictionaries(keys, values, max_size=5), ops)
+def test_merge_cell_matches_map_cell_apply_delta(initial, op_list):
+    live = MapCell("m", dict(initial))
+    base = live.full_snapshot()
+    live.mark_clean()
+    merged = base
+    for op, key, value in op_list:
+        if op == "map_set":
+            live[key] = value
+        elif op == "map_del" and key in live:
+            del live[key]
+        elif op in ("checkpoint", "full_checkpoint"):
+            merged = merge_cell(merged, live.delta_snapshot())
+            live.mark_clean()
+    merged = merge_cell(merged, live.delta_snapshot())
+    assert cpser.dumps(merged) == cpser.dumps(live.full_snapshot())
+
+
+@given(values, values)
+def test_merge_cell_value_semantics(old, new):
+    cell = ValueCell("v", old)
+    base = cell.full_snapshot()
+    cell.mark_clean()
+    # Unchanged delta keeps the base; a set adopts the new value.
+    assert merge_cell(base, cell.delta_snapshot()) == base
+    cell.set(new)
+    assert merge_cell(base, cell.delta_snapshot()) == cell.full_snapshot()
+
+
+def test_newer_full_snapshot_wins_outright():
+    reg = _registry()
+    old = _component_snapshot(reg, incremental=False, vt=0)
+    reg.cells()["m"]["z"] = 99
+    newer_full = _component_snapshot(reg, incremental=False, vt=7)
+    merged = merge_component_snapshots(old, newer_full)
+    assert cpser.dumps(merged) == cpser.dumps(newer_full)
+
+
+def test_malformed_deltas_raise_structured_errors():
+    with pytest.raises(RecoveryError):
+        merge_cell({"a": 1}, (True,))  # short value-cell tuple
+    with pytest.raises(RecoveryError):
+        merge_cell(3, {"a": 1})  # map delta onto non-map base
+    with pytest.raises(RecoveryError):
+        merge_cell({"a": 1}, object())  # unknown delta shape
+    reg = _registry()
+    base = {"comp": _component_snapshot(reg, incremental=False, vt=0)}
+    with pytest.raises(RecoveryError):
+        fold_chain(base, [{"ghost": _component_snapshot(
+            reg, incremental=True, vt=1)}])
