@@ -7,7 +7,12 @@ deployment-time transformation produces: it wraps a user
 * per-input-wire tick accounting and pending queues,
 * virtual-time-order dispatch with the pessimistic rule — the earliest
   pending message (vt *t*) runs only when every other input wire is
-  accounted (data or silence) through *t* (paper II.E),
+  accounted (data or silence) through *t* (paper II.E).  Candidate
+  selection is heap-backed: a lazy min-heap of per-wire head
+  :class:`~repro.vt.time.MessageKey` entries (per-wire virtual times are
+  strictly increasing, so the head of each pending deque is its
+  minimum), cleaned as stale entries surface, replaces the historical
+  every-event scan of ``in_wires``,
 * estimator-driven output timestamping,
 * silence-fact computation for curiosity probes and aggressive
   heartbeats (paper II.H),
@@ -27,6 +32,7 @@ overriding only the dispatch rule.
 from __future__ import annotations
 
 import dataclasses
+import heapq
 import inspect
 from collections import deque
 from dataclasses import dataclass
@@ -179,6 +185,19 @@ class ComponentRuntime:
         # Wires with an outstanding replay: their arrivals may carry old
         # virtual times, so local freshness assumptions are suspended.
         self._replay_pending: set = set()
+        # Lazy min-heap of (head MessageKey, wire_id) over the pending
+        # queues: per-wire virtual times strictly increase, so each
+        # wire's head is its minimum and the heap top (after discarding
+        # stale entries) is the global dispatch candidate.
+        self._head_heap: List[Tuple[MessageKey, int]] = []
+        # Wires flagged external at wiring time.  The hosting layer may
+        # clear ``wire.external`` in place later (networked deployments
+        # drop the local-clock freshness bound), so the fast paths check
+        # the live flags on this short list rather than caching a bool.
+        self._external_flagged: List[InWireState] = []
+        # Unique handler specs across the in-wires (many wires share one
+        # handler), for the idle-case minimum-cost estimate.
+        self._wired_handler_specs: List[HandlerSpec] = []
         self.policy.bind(self)
 
     # ------------------------------------------------------------------
@@ -193,7 +212,12 @@ class ComponentRuntime:
             raise WiringError(
                 f"{self.component.name}: no handler for input '{spec.dst_input}'"
             )
-        self.in_wires[spec.wire_id] = InWireState(spec, handler_spec, external)
+        wire = InWireState(spec, handler_spec, external)
+        self.in_wires[spec.wire_id] = wire
+        if external:
+            self._external_flagged.append(wire)
+        if handler_spec not in self._wired_handler_specs:
+            self._wired_handler_specs.append(handler_spec)
         self.silence.add_wire(spec.wire_id)
         self._probe_outstanding[spec.wire_id] = False
         self._probe_not_before[spec.wire_id] = 0
@@ -268,6 +292,10 @@ class ComponentRuntime:
             self.services.metrics.count("out_of_order_arrivals")
         self._max_arrived_vt = max(self._max_arrived_vt, msg.vt)
         wire.pending.append(msg)
+        if len(wire.pending) == 1:
+            # New head: appends to a non-empty queue never change the
+            # head (per-wire virtual times strictly increase).
+            heapq.heappush(self._head_heap, (msg.key(), msg.wire_id))
         self.silence.advance(msg.wire_id, msg.vt)
         self._probe_outstanding[msg.wire_id] = False
         self.policy.on_enqueued(self, msg)
@@ -359,14 +387,28 @@ class ComponentRuntime:
         self._dispatch(msg, wire)
 
     def _best_candidate(self) -> Optional[Tuple[DataMessage, InWireState]]:
-        best: Optional[Tuple[DataMessage, InWireState]] = None
-        for wire in self.in_wires.values():
-            if not wire.pending:
-                continue
-            front = wire.pending[0]
-            if best is None or front.key() < best[0].key():
-                best = (front, wire)
-        return best
+        top = self._clean_head()
+        if top is None:
+            return None
+        wire = self.in_wires[top[1]]
+        return wire.pending[0], wire
+
+    def _clean_head(self) -> Optional[Tuple[MessageKey, int]]:
+        """The live (head key, wire_id) heap top, discarding stale entries.
+
+        An entry is live iff it still names the head of its wire's
+        pending queue; anything else (dispatched head, emptied queue) is
+        stale and dropped on sight.
+        """
+        heap = self._head_heap
+        while heap:
+            key, wire_id = heap[0]
+            wire = self.in_wires.get(wire_id)
+            if (wire is not None and wire.pending
+                    and wire.pending[0].key() == key):
+                return heap[0]
+            heapq.heappop(heap)
+        return None
 
     def _enter_pessimism_delay(self, msg: DataMessage) -> None:
         key = msg.key()
@@ -386,6 +428,11 @@ class ComponentRuntime:
             self.services.metrics.add("pessimism_delay_ticks", held)
         self._clear_delay()
         wire.pending.popleft()
+        if wire.pending and self.deterministic:
+            heapq.heappush(
+                self._head_heap,
+                (wire.pending[0].key(), wire.spec.wire_id),
+            )
         handler_spec = wire.handler_spec
         dequeue_vt = max(msg.vt, self.component_vt)
         features = handler_spec.cost.features(msg.payload)
@@ -669,9 +716,23 @@ class ComponentRuntime:
         return busy.partial_vt + max(1, bound)
 
     def _earliest_possible_input(self) -> int:
-        """Lower bound on the vt of the next message dequeued."""
+        """Lower bound on the vt of the next message dequeued.
+
+        Fast path (no live external wire): ``min(head_min, min_horizon
+        + 1)``.  This equals the per-wire scan because an arrival
+        advances its wire's horizon to at least its own vt, so a pending
+        wire's head vt never exceeds that wire's horizon — pending
+        wires' ``horizon + 1`` terms can never undercut ``head_min``,
+        and folding them into the global minimum is harmless.  A live
+        external wire re-enables the scan: its local-clock freshness
+        boost is per-wire state the global minimum cannot express.
+        """
         if not self.in_wires:
             return NEVER
+        if not any(w.external for w in self._external_flagged):
+            head = self._clean_head()
+            head_min = head[0].vt if head is not None else NEVER
+            return min(head_min, self.silence.min_horizon() + 1)
         now = self.services.sim.now
         earliest = NEVER
         for wire in self.in_wires.values():
@@ -691,8 +752,8 @@ class ComponentRuntime:
 
     def _min_handler_estimate(self, at_vt: int) -> int:
         ests = [
-            wire.handler_spec.cost.min_estimated(at_vt)
-            for wire in self.in_wires.values()
+            spec.cost.min_estimated(at_vt)
+            for spec in self._wired_handler_specs
         ]
         return min(ests) if ests else 0
 
@@ -844,6 +905,12 @@ class ComponentRuntime:
             self.in_wires[int(wid)].pending = deque(
                 decode_message(item) for item in items
             )
+        self._head_heap = [
+            (wire.pending[0].key(), wid)
+            for wid, wire in self.in_wires.items()
+            if wire.pending
+        ]
+        heapq.heapify(self._head_heap)
         self._busy = None
         self._clear_delay()
         for wid in self._probe_outstanding:

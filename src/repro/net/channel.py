@@ -22,6 +22,15 @@ the simulated :class:`~repro.runtime.link.ReliableChannel`:
   so the real-time pump can stop advancing the local engine when a peer
   falls behind (see ``RealtimeKernel.congestion_check``) — end-to-end
   backpressure instead of unbounded buffering.
+* **Batched wire path.**  The send loop drains once per *burst*: every
+  item pending at that moment is packed into ``FRAME_BATCH`` frames
+  (``batch_max_items`` per frame, singletons stay plain ``FRAME_ITEM``)
+  assembled through a per-channel :class:`~repro.net.codec.FrameEncoder`
+  scratch buffer — one body serialization and one syscall carry many
+  messages.  The receiver coalesces acknowledgements to one cumulative
+  ACK per frame; the ack consumer rejects any ``upto`` outside the
+  ``[frontier, next_seq]`` window, so a stale host answering after a
+  promotion can neither regress nor overrun the ack frontier.
 
 Address lists are ordered candidates: for an engine node the primary
 host comes first and its replica's process second, so after a failover
@@ -33,16 +42,22 @@ from __future__ import annotations
 
 import asyncio
 import random
+import sys
 import zlib
 from collections import deque
-from typing import Any, Deque, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import FenceDeliveryError
+from repro.errors import FenceDeliveryError, TransportError
 from repro.net import codec
 
 #: Items buffered (unsent + unacked) above which a channel reports
 #: congestion to the pump.
 HIGH_WATER_ITEMS = 4096
+
+#: Default cap on items packed into one FRAME_BATCH.  Bounds per-frame
+#: latency and keeps a single torn batch cheap to retransmit; bursts
+#: larger than this simply produce several batch frames.
+BATCH_MAX_ITEMS = 64
 
 #: Default reconnect backoff bounds in seconds (constructor-tunable so
 #: chaos tests can compress wall-clock time).
@@ -77,7 +92,9 @@ class OutboundChannel:
                  backoff_max: float = BACKOFF_MAX_S,
                  connect_timeout: float = CONNECT_TIMEOUT_S,
                  handshake_timeout: float = HANDSHAKE_TIMEOUT_S,
-                 jitter_seed: int = 0):
+                 jitter_seed: int = 0,
+                 batch_max_items: int = BATCH_MAX_ITEMS,
+                 ack_watcher: Optional[Callable[[int], None]] = None):
         if not addresses:
             raise codec.CodecError(f"no addresses for node {dst_node!r}")
         self.peer_id = peer_id
@@ -87,12 +104,21 @@ class OutboundChannel:
         self.backoff_max = float(backoff_max)
         self.connect_timeout = float(connect_timeout)
         self.handshake_timeout = float(handshake_timeout)
+        self.batch_max_items = max(1, int(batch_max_items))
         self._jitter = backoff_jitter_rng(jitter_seed, peer_id, dst_node)
+        #: Reusable scratch buffer for frame assembly (hot path).
+        self._encoder = codec.FrameEncoder()
+        #: Observer of the advancing ack frontier (benchmarks measure
+        #: enqueue-to-ack latency through it); called with ``upto``.
+        self._ack_watcher = ack_watcher
         #: Items accepted but not yet assigned a sequence number.
         self._pending: Deque[Tuple[str, Any]] = deque()
-        #: (seq, frame bytes) sent but not yet acknowledged.
-        self._unacked: Deque[Tuple[int, bytes]] = deque()
+        #: (seq, ITEM body dict) sent but not yet acknowledged; resends
+        #: re-pack these into fresh batch frames.
+        self._unacked: Deque[Tuple[int, Dict[str, Any]]] = deque()
         self._next_seq = 0
+        #: Cumulative ack frontier: everything below is acknowledged.
+        self._ack_frontier = 0
         self._known_incarnation: Optional[str] = None
         #: When set, only incarnations hosted by this peer are accepted
         #: (the node is known to have moved there; see :meth:`redirect`).
@@ -101,6 +127,8 @@ class OutboundChannel:
         self._wake = asyncio.Event()
         self._closed = False
         self._task: Optional[asyncio.Task] = None
+        #: Fatal protocol rejection, once one arrived (FRAME_ERROR).
+        self.last_error: Optional[Exception] = None
         #: Diagnostics.
         self.items_sent = 0
         self.items_acked = 0
@@ -108,6 +136,13 @@ class OutboundChannel:
         self.reconnects = 0
         self.connect_failures = 0
         self.epoch_resets = 0
+        self.frames_sent = 0
+        self.batches_sent = 0
+        self.bytes_sent = 0
+        self.acks_received = 0
+        self.acks_rejected = 0
+        self.torn_frames = 0
+        self.proto_rejects = 0
 
     def counters(self) -> dict:
         """Per-channel fault/retransmit/epoch counters (for metrics)."""
@@ -118,6 +153,13 @@ class OutboundChannel:
             "reconnects": self.reconnects,
             "connect_failures": self.connect_failures,
             "epoch_resets": self.epoch_resets,
+            "frames_sent": self.frames_sent,
+            "batches_sent": self.batches_sent,
+            "bytes_sent": self.bytes_sent,
+            "acks_received": self.acks_received,
+            "acks_rejected": self.acks_rejected,
+            "torn_frames": self.torn_frames,
+            "proto_rejects": self.proto_rejects,
         }
 
     # -- producer side (called synchronously from sim events) ----------
@@ -168,6 +210,7 @@ class OutboundChannel:
         self._unacked.clear()
         self._known_incarnation = None
         self._next_seq = 0
+        self._ack_frontier = 0
         self.epoch_resets += 1
         self._wake.set()
 
@@ -196,6 +239,7 @@ class OutboundChannel:
         self._pending.clear()
         self._unacked.clear()
         self._next_seq = 0
+        self._ack_frontier = 0
         self._known_incarnation = None
         self.epoch_resets += 1
         if self._writer is not None:
@@ -209,7 +253,23 @@ class OutboundChannel:
         while not self._closed:
             address = self.addresses[addr_idx % len(self.addresses)]
             addr_idx += 1
-            conn = await self._try_connect(address)
+            try:
+                conn = await self._try_connect(address)
+            except codec.CodecError as exc:
+                # Structured protocol rejection (FRAME_ERROR — e.g. the
+                # peer speaks another wire version): retrying cannot
+                # help, so park the channel instead of hammering the
+                # host with doomed handshakes.
+                self.proto_rejects += 1
+                self.last_error = exc
+                self._closed = True
+                print(f"channel to {self.dst_node}: {exc}",
+                      file=sys.stderr, flush=True)
+                return
+            except TransportError:
+                # The handshake died mid-frame: a reset, not a refusal.
+                self.torn_frames += 1
+                conn = None
             if conn is None:
                 self.connect_failures += 1
                 # Deterministic jitter (0.5x..1.5x) from the per-channel
@@ -255,6 +315,16 @@ class OutboundChannel:
         except (ConnectionError, OSError, asyncio.TimeoutError):
             writer.close()
             return None
+        if frame is not None and frame[0] == codec.FRAME_ERROR:
+            # The peer rejected the handshake outright (version
+            # negotiation failed); surface the structured reason.
+            writer.close()
+            body = frame[1]
+            raise codec.CodecError(
+                f"peer at {host}:{port} rejected handshake: "
+                f"{body.get('error', '')} (peer proto {body.get('proto')!r},"
+                f" ours {codec.WIRE_VERSION})"
+            )
         if frame is None or frame[0] != codec.FRAME_WELCOME:
             # NOT_HERE (or EOF): the node is not hosted there (yet);
             # back off and let the loop try the next candidate address.
@@ -279,11 +349,43 @@ class OutboundChannel:
             self._pending.clear()
             self._unacked.clear()
             self._next_seq = 0
+            self._ack_frontier = 0
             self._known_incarnation = incarnation
             self.epoch_resets += 1
 
+    def _send_burst(self, writer, bodies: List[Dict[str, Any]],
+                    resend: bool = False) -> None:
+        """Write one burst of ITEM bodies as batch frames (no drain).
+
+        Chunks of ``batch_max_items`` become ``FRAME_BATCH`` frames; a
+        lone item stays a plain ``FRAME_ITEM``.  Frames are assembled in
+        the channel's scratch encoder, so a burst costs one body
+        serialization per *frame* instead of four allocations per item.
+        """
+        encoder = self._encoder
+        cap = self.batch_max_items
+        for start in range(0, len(bodies), cap):
+            chunk = bodies[start:start + cap]
+            if len(chunk) == 1:
+                frame = encoder.encode(codec.FRAME_ITEM, chunk[0])
+            else:
+                frame = encoder.encode_batch(chunk)
+                self.batches_sent += 1
+            writer.write(frame)
+            self.frames_sent += 1
+            self.bytes_sent += len(frame)
+        if resend:
+            self.items_resent += len(bodies)
+        else:
+            self.items_sent += len(bodies)
+
     async def _converse(self, reader, writer) -> None:
-        """Send/resend loop for one live connection."""
+        """Send/resend loop for one live connection.
+
+        Drains once per burst: every item pending at wake-up is packed
+        into batch frames and flushed with a single ``drain()``, instead
+        of the historical frame-write (and receiver ack) per item.
+        """
         self._writer = writer
         acks = asyncio.get_running_loop().create_task(
             self._consume_acks(reader), name=f"acks:{self.dst_node}"
@@ -291,22 +393,27 @@ class OutboundChannel:
         try:
             # Same incarnation, new connection: resend the unacked tail
             # first, in order (the receiver discards duplicates by seq).
-            for _seq, frame in list(self._unacked):
-                writer.write(frame)
-                self.items_resent += 1
+            if self._unacked:
+                self._send_burst(writer,
+                                 [body for _seq, body in self._unacked],
+                                 resend=True)
             await writer.drain()
             while not self._closed:
                 if acks.done():
                     break  # connection died under the ack reader
-                while self._pending:
-                    src, msg = self._pending.popleft()
-                    seq = self._next_seq
-                    self._next_seq += 1
-                    frame = codec.encode_item(seq, src, self.dst_node, msg)
-                    self._unacked.append((seq, frame))
-                    writer.write(frame)
-                    self.items_sent += 1
-                await writer.drain()
+                if self._pending:
+                    pending = self._pending
+                    bodies = []
+                    while pending:
+                        src, msg = pending.popleft()
+                        seq = self._next_seq
+                        self._next_seq += 1
+                        body = codec.item_body(seq, src, self.dst_node, msg)
+                        self._unacked.append((seq, body))
+                        bodies.append(body)
+                    self._send_burst(writer, bodies)
+                    await writer.drain()
+                    continue
                 self._wake.clear()
                 if self._pending:
                     continue
@@ -330,17 +437,37 @@ class OutboundChannel:
                     pass
 
     async def _consume_acks(self, reader) -> None:
-        while True:
-            frame = await codec.read_frame(reader)
-            if frame is None:
-                return
-            frame_tag, body = frame
-            if frame_tag != codec.FRAME_ACK:
-                continue
-            upto = int(body.get("upto", 0))
-            while self._unacked and self._unacked[0][0] < upto:
-                self._unacked.popleft()
-                self.items_acked += 1
+        try:
+            while True:
+                frame = await codec.read_frame(reader)
+                if frame is None:
+                    return
+                frame_tag, body = frame
+                if frame_tag != codec.FRAME_ACK:
+                    continue
+                upto = int(body.get("upto", 0))
+                if upto < self._ack_frontier or upto > self._next_seq:
+                    # Out of the [frontier, next_seq] window: a stale
+                    # host answering after a promotion, or a corrupt
+                    # peer.  Accepting a backwards value would regress
+                    # the frontier; a forward overrun would acknowledge
+                    # items never sent.  Reject and count.
+                    self.acks_rejected += 1
+                    continue
+                self.acks_received += 1
+                if upto > self._ack_frontier:
+                    self._ack_frontier = upto
+                while self._unacked and self._unacked[0][0] < upto:
+                    self._unacked.popleft()
+                    self.items_acked += 1
+                if self._ack_watcher is not None:
+                    self._ack_watcher(upto)
+        except TransportError:
+            # Covers CodecError: the connection died mid-frame or the
+            # peer sent garbage.  Either way this is a reset, not an
+            # orderly close — count it; the reconnect loop retransmits
+            # the unacked tail.
+            self.torn_frames += 1
 
 
 #: Per-attempt connect/handshake timeout of the fence path in seconds.
@@ -383,7 +510,8 @@ async def send_fence_once(address: Tuple[str, int], peer_id: str,
                 await writer.drain()
                 return True
             return False  # NOT_HERE: nothing to fence at the primary
-        except (ConnectionError, OSError, asyncio.TimeoutError):
+        except (ConnectionError, OSError, asyncio.TimeoutError,
+                TransportError):
             await asyncio.sleep(gap)
         finally:
             writer.close()
@@ -432,7 +560,8 @@ async def send_corrupt_once(address: Tuple[str, int], peer_id: str,
                 await writer.drain()
                 return True
             return False
-        except (ConnectionError, OSError, asyncio.TimeoutError):
+        except (ConnectionError, OSError, asyncio.TimeoutError,
+                TransportError):
             await asyncio.sleep(gap)
         finally:
             writer.close()

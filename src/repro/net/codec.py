@@ -20,12 +20,35 @@ Frame tags (handshake and transport control):
 ``FRAME_NOT_HERE``    3    the destination node is not hosted here (yet)
 ``FRAME_ITEM``        4    one message: ``{"seq", "src", "dst", "msg"}``
 ``FRAME_ACK``         5    cumulative receipt: ``{"upto"}`` (next expected)
+``FRAME_BATCH``       6    many messages: ``{"items": [ITEM body, ...]}``
+``FRAME_ERROR``       7    structured reject: ``{"error", "proto"}``
 ====================  ===  =================================================
 
 Message type tags (the ``"k"`` of an ITEM's ``"msg"`` dict) are assigned
 from :data:`repro.core.message.WIRE_MESSAGE_TYPES` plus the transport
 types defined here; see :data:`MESSAGE_TAGS`.  Tags are permanent: new
 types append, existing tags are never renumbered.
+
+**Batching.**  A ``FRAME_BATCH`` carries any number of ITEM bodies in
+sender-sequence order; receivers process them exactly as if each had
+arrived in its own ``FRAME_ITEM``, then acknowledge the whole frame
+with **one** cumulative ACK (the ack-coalescing contract: at least one
+ACK per frame, never one per item).  Because acks are cumulative, a
+coalesced ack acknowledges every item of the batch at once; senders
+must accept any ``upto`` between their ack frontier and their next
+unassigned sequence number and reject everything else (a stale host
+answering after a promotion must not regress or overrun the frontier).
+Hot senders build frames through a :class:`FrameEncoder`, which reuses
+a per-channel scratch buffer and serializes one body per *batch*
+instead of one per message.
+
+**Truncation vs EOF.**  A byte stream may end cleanly only on a frame
+boundary.  :func:`read_frame` returns ``None`` for that case alone; a
+connection that dies after part of a frame was read (mid-header or
+mid-payload) raises :class:`~repro.errors.TransportError`, so transports
+count a reset instead of mistaking a torn frame for an orderly close.
+:meth:`FrameSplitter.eof` mirrors the same distinction for non-asyncio
+byte streams.
 """
 
 from __future__ import annotations
@@ -53,9 +76,11 @@ FRAME_WELCOME = 2
 FRAME_NOT_HERE = 3
 FRAME_ITEM = 4
 FRAME_ACK = 5
+FRAME_BATCH = 6
+FRAME_ERROR = 7
 
 _FRAME_TAGS = {FRAME_HELLO, FRAME_WELCOME, FRAME_NOT_HERE,
-               FRAME_ITEM, FRAME_ACK}
+               FRAME_ITEM, FRAME_ACK, FRAME_BATCH, FRAME_ERROR}
 
 
 class CodecError(TransportError):
@@ -200,9 +225,10 @@ def decode_frame_payload(payload: bytes) -> Tuple[int, Dict[str, Any]]:
     return frame_tag, body
 
 
-def encode_hello(peer_id: str, dst_node: str) -> bytes:
+def encode_hello(peer_id: str, dst_node: str,
+                 proto: int = WIRE_VERSION) -> bytes:
     return encode_frame(FRAME_HELLO, {"peer": peer_id, "dst": dst_node,
-                                      "proto": WIRE_VERSION})
+                                      "proto": proto})
 
 
 def encode_welcome(incarnation: str) -> bytes:
@@ -222,6 +248,78 @@ def encode_ack(upto: int) -> bytes:
     return encode_frame(FRAME_ACK, {"upto": upto})
 
 
+def encode_error(error: str) -> bytes:
+    """Structured rejection, e.g. of a HELLO whose ``proto`` mismatches.
+
+    Carries the *speaker's* wire version so the rejected peer can log
+    what would have been accepted.
+    """
+    return encode_frame(FRAME_ERROR, {"error": error,
+                                      "proto": WIRE_VERSION})
+
+
+def item_body(seq: int, src: str, dst: str, msg: Any) -> Dict[str, Any]:
+    """The body dict of one ITEM — also the element type of a BATCH."""
+    return {"seq": seq, "src": src, "dst": dst, "msg": encode_message(msg)}
+
+
+class FrameEncoder:
+    """Allocation-lean frame encoder with a reusable scratch buffer.
+
+    :func:`encode_frame` allocates four intermediate objects per frame
+    (tag bytes, payload concat, length pack, final concat); on the hot
+    send path that is four allocations *per message*.  A ``FrameEncoder``
+    assembles the frame in place in a per-channel ``bytearray`` that is
+    grown once and reused forever, and — via :meth:`encode_batch` —
+    serializes one body for an entire burst of items instead of one per
+    item.  The produced bytes are identical to :func:`encode_frame`'s.
+    """
+
+    __slots__ = ("_scratch",)
+
+    def __init__(self, initial_capacity: int = 4096):
+        self._scratch = bytearray(initial_capacity)
+
+    def encode(self, frame_tag: int, body: Dict[str, Any]) -> bytes:
+        """One full frame, byte-identical to :func:`encode_frame`."""
+        if frame_tag not in _FRAME_TAGS:
+            raise CodecError(f"unknown frame tag {frame_tag!r}")
+        blob = cpser.dumps(body)
+        length = 2 + len(blob)
+        if length > MAX_FRAME_BYTES:
+            raise CodecError(f"frame too large: {length} bytes")
+        scratch = self._scratch
+        need = _LEN.size + length
+        if len(scratch) < need:
+            scratch.extend(bytes(need - len(scratch)))
+        _LEN.pack_into(scratch, 0, length)
+        scratch[4] = WIRE_VERSION
+        scratch[5] = frame_tag
+        scratch[6:need] = blob
+        return bytes(memoryview(scratch)[:need])
+
+    def encode_batch(self, items: list) -> bytes:
+        """One BATCH frame from pre-built ITEM bodies (:func:`item_body`).
+
+        Items must be in sender-sequence order; the receiver processes
+        them exactly as a run of singleton ITEM frames and answers with
+        one cumulative ACK for the whole frame.
+        """
+        return self.encode(FRAME_BATCH, {"items": list(items)})
+
+    def encode_ack(self, upto: int) -> bytes:
+        """One ACK frame, scratch-assembled."""
+        return self.encode(FRAME_ACK, {"upto": upto})
+
+
+def batch_items(body: Dict[str, Any]) -> list:
+    """The ITEM bodies of a decoded BATCH frame, validated."""
+    items = body.get("items")
+    if not isinstance(items, list):
+        raise CodecError(f"malformed batch frame: {sorted(body)}")
+    return items
+
+
 class FrameSplitter:
     """Incremental splitter: feed raw bytes, get complete frames out.
 
@@ -233,7 +331,8 @@ class FrameSplitter:
         self._buf = bytearray()
 
     def feed(self, data: bytes):
-        """Consume ``data``; yield ``(frame_tag, body)`` per frame."""
+        """Consume ``data``; return the list of completed ``(frame_tag,
+        body)`` pairs (empty while a frame is still partial)."""
         self._buf.extend(data)
         frames = []
         while True:
@@ -248,20 +347,62 @@ class FrameSplitter:
             del self._buf[:_LEN.size + length]
             frames.append(decode_frame_payload(payload))
 
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes of the partial frame buffered so far (0 at a boundary)."""
+        return len(self._buf)
+
+    def eof(self) -> None:
+        """Declare the byte stream ended; raise if it tore a frame.
+
+        Mirrors :func:`read_frame`'s distinction: an EOF on a frame
+        boundary is an orderly close (returns quietly), an EOF with a
+        partial frame buffered is a truncation and raises
+        :class:`~repro.errors.TransportError`.
+        """
+        if self._buf:
+            raise TransportError(
+                f"stream ended mid-frame with {len(self._buf)} "
+                f"unframed byte(s) buffered"
+            )
+
 
 async def read_frame(reader) -> Optional[Tuple[int, Dict[str, Any]]]:
-    """Read one frame from an asyncio stream; ``None`` on clean EOF."""
+    """Read one frame from an asyncio stream.
+
+    Returns ``None`` only on a *clean* EOF, i.e. the connection closed
+    exactly on a frame boundary.  A connection that dies after part of a
+    frame was read — mid-header, or mid-payload after a full header —
+    raises :class:`~repro.errors.TransportError`: a torn frame is a
+    connection reset, never an orderly close, and callers must count it
+    as one (the sender's unacked tail will be retransmitted after the
+    reconnect).
+    """
     import asyncio
 
     try:
         header = await reader.readexactly(_LEN.size)
-    except (asyncio.IncompleteReadError, ConnectionError):
+    except asyncio.IncompleteReadError as exc:
+        if exc.partial:
+            raise TransportError(
+                f"connection died mid-frame: {len(exc.partial)} of "
+                f"{_LEN.size} header bytes"
+            ) from exc
+        return None
+    except ConnectionError:
         return None
     (length,) = _LEN.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise CodecError(f"frame too large: {length} bytes")
     try:
         payload = await reader.readexactly(length)
-    except (asyncio.IncompleteReadError, ConnectionError):
-        return None
+    except asyncio.IncompleteReadError as exc:
+        raise TransportError(
+            f"connection died mid-frame: {len(exc.partial)} of {length} "
+            f"payload bytes"
+        ) from exc
+    except ConnectionError as exc:
+        raise TransportError(
+            f"connection reset mid-frame awaiting {length} payload bytes"
+        ) from exc
     return decode_frame_payload(payload)

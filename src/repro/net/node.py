@@ -165,6 +165,7 @@ class NetTransport:
                 connect_timeout=self.spec.connect_timeout_s,
                 handshake_timeout=self.spec.handshake_timeout_s,
                 jitter_seed=self.spec.master_seed,
+                batch_max_items=self.spec.batch_max_items,
             )
             host = self._node_hosts.get(dst_node)
             if host is not None:

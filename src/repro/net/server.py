@@ -14,12 +14,21 @@ Each process:
    :class:`~repro.net.codec.Shutdown` arrives.
 
 Inbound connection protocol (the receiving half of
-:class:`~repro.net.channel.OutboundChannel`): HELLO is answered with
+:class:`~repro.net.channel.OutboundChannel`): a HELLO whose ``proto``
+field does not match our :data:`~repro.net.codec.WIRE_VERSION` is
+answered with a structured ``FRAME_ERROR`` and hung up (version
+negotiation is enforced, not advisory); a valid HELLO is answered with
 WELCOME carrying the *incarnation* of the hosted destination node, or
 NOT_HERE when the node is not hosted here or no longer alive — the
 latter also applies mid-stream: a connection whose destination died is
 simply hung up, which forces the sender to re-handshake and cycle to
 the node's next address candidate (where its promoted successor lives).
+
+Items arrive as singleton ITEM frames or as BATCH frames carrying many
+ITEM bodies.  Acknowledgements are *coalesced*: one cumulative ACK is
+written per received frame — a batch of N items costs one ack write
+instead of the historical N — and the ack carries the connection's next
+expected sequence number either way.
 
 Receiver-side dedup state is keyed by (sender peer, destination node,
 destination *incarnation*): a promoted node starts with a clean slate,
@@ -36,6 +45,7 @@ import uuid
 from pathlib import Path
 from typing import Callable, Dict, Optional, Tuple
 
+from repro.errors import TransportError
 from repro.net import codec
 from repro.net.clock import RealtimeClock, RealtimeKernel
 from repro.net.heartbeat import ReplicaHost
@@ -65,6 +75,10 @@ class ProcessRuntime:
         self.stopping = asyncio.Event()
         self.host = None
         self._server: Optional[asyncio.AbstractServer] = None
+        #: Connections that died mid-frame (truncation, not clean EOF).
+        self.torn_frames = 0
+        #: HELLOs rejected for a mismatched ``proto`` field.
+        self.proto_rejects = 0
 
     # -- inbound protocol ------------------------------------------------
     async def _handle_conn(self, reader, writer) -> None:
@@ -72,6 +86,18 @@ class ProcessRuntime:
             frame = await asyncio.wait_for(codec.read_frame(reader),
                                            timeout=10.0)
             if frame is None or frame[0] != codec.FRAME_HELLO:
+                return
+            proto = frame[1].get("proto")
+            if proto != codec.WIRE_VERSION:
+                # Version negotiation is enforced: answer with a
+                # structured reject so the peer can log why, then hang
+                # up before any WELCOME leaks an incarnation.
+                self.proto_rejects += 1
+                writer.write(codec.encode_error(
+                    f"unsupported wire protocol {proto!r}; "
+                    f"{self.name} speaks {codec.WIRE_VERSION}"
+                ))
+                await writer.drain()
                 return
             peer = str(frame[1].get("peer", ""))
             dst = str(frame[1].get("dst", ""))
@@ -85,8 +111,11 @@ class ProcessRuntime:
             await writer.drain()
             await self._item_loop(reader, writer, peer, (peer, dst,
                                                          incarnation))
-        except (ConnectionError, OSError, asyncio.TimeoutError,
-                codec.CodecError):
+        except codec.CodecError:
+            pass  # malformed peer: hang up
+        except TransportError:
+            self.torn_frames += 1  # died mid-frame: a reset, not an EOF
+        except (ConnectionError, OSError, asyncio.TimeoutError):
             pass
         except asyncio.CancelledError:
             pass  # loop teardown cancels open connection handlers
@@ -98,37 +127,51 @@ class ProcessRuntime:
                 pass
 
     async def _item_loop(self, reader, writer, peer: str, key) -> None:
+        encoder = codec.FrameEncoder()
         while True:
             frame = await codec.read_frame(reader)
             if frame is None:
                 return
             tag, body = frame
-            if tag != codec.FRAME_ITEM:
+            if tag == codec.FRAME_ITEM:
+                items = (body,)
+            elif tag == codec.FRAME_BATCH:
+                items = codec.batch_items(body)
+            else:
                 continue
-            dst_node = str(body.get("dst", ""))
-            target = self.transport.local_node(dst_node)
-            if target is None or not target.alive:
-                # Destination died under this connection: hang up so the
-                # sender re-handshakes and finds the promoted successor
-                # at the next address candidate.
-                return
-            seq = int(body.get("seq", 0))
-            expected = self._recv_expected.get(key, 0)
-            if seq >= expected:
-                # Fresh (seq == expected) — or the sender is ahead of
-                # us, which only a lost dedup entry can cause: resync to
-                # the sender rather than black-holing its stream.
-                self._recv_expected[key] = seq + 1
-                msg = codec.decode_message(body.get("msg"))
-                if not self._control_message(msg):
-                    self.transport.note_item_source(
-                        str(body.get("src", "")), peer
-                    )
-                    self.rtk.inject(
-                        lambda m=msg, d=dst_node: self.transport.deliver(d, m)
-                    )
-            writer.write(codec.encode_ack(self._recv_expected.get(key, 0)))
+            for item in items:
+                if not self._accept_item(item, peer, key):
+                    # Destination died under this connection: hang up so
+                    # the sender re-handshakes and finds the promoted
+                    # successor at the next address candidate.
+                    return
+            # Ack coalescing: one cumulative ACK per received frame —
+            # a batch of N items costs one ack write, not N.
+            writer.write(encoder.encode_ack(self._recv_expected.get(key, 0)))
             await writer.drain()
+
+    def _accept_item(self, body, peer: str, key) -> bool:
+        """Dedup + deliver one ITEM body; False when the target is gone."""
+        dst_node = str(body.get("dst", ""))
+        target = self.transport.local_node(dst_node)
+        if target is None or not target.alive:
+            return False
+        seq = int(body.get("seq", 0))
+        expected = self._recv_expected.get(key, 0)
+        if seq >= expected:
+            # Fresh (seq == expected) — or the sender is ahead of
+            # us, which only a lost dedup entry can cause: resync to
+            # the sender rather than black-holing its stream.
+            self._recv_expected[key] = seq + 1
+            msg = codec.decode_message(body.get("msg"))
+            if not self._control_message(msg):
+                self.transport.note_item_source(
+                    str(body.get("src", "")), peer
+                )
+                self.rtk.inject(
+                    lambda m=msg, d=dst_node: self.transport.deliver(d, m)
+                )
+        return True
 
     def _control_message(self, msg) -> bool:
         """Handle cluster-control messages synchronously.
@@ -201,6 +244,10 @@ class ProcessRuntime:
                 for dst, c in stats.items()
             )
             print(f"channels: {summary}", file=sys.stderr, flush=True)
+        if self.torn_frames or self.proto_rejects:
+            print(f"inbound: torn_frames={self.torn_frames} "
+                  f"proto_rejects={self.proto_rejects}",
+                  file=sys.stderr, flush=True)
         report = None
         if self.host is not None and hasattr(self.host, "audit_report"):
             report = self.host.audit_report()

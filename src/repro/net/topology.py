@@ -68,6 +68,10 @@ class ClusterSpec:
     backoff_max_s: float = 0.5
     fence_attempts: int = 10
     fence_gap_s: float = 0.2
+    #: Cap on items per FRAME_BATCH on outbound channels (1 disables
+    #: batching — every item rides its own ITEM frame, the pre-batching
+    #: wire behaviour the benchmark baseline measures).
+    batch_max_items: int = 64
     #: Recovery-time objective in simulated milliseconds; when set, each
     #: engine runs the adaptive cadence controller with this replay
     #: budget instead of a fixed checkpoint interval.

@@ -12,6 +12,14 @@ Supported value types: ``None``, ``bool``, ``int``, ``float``, ``str``,
 This covers everything component state cells and runtime snapshots
 contain; anything else is a hard error (a component trying to checkpoint
 an open socket should fail loudly, not pickle it).
+
+Plain str-keyed dicts — the overwhelmingly common shape in state cells
+and wire-frame bodies — are passed straight through to ``json.dumps``:
+``sort_keys=True`` already gives them a canonical key order, so the
+tagged ``{"__t__": "d", ...}`` wrapper (whose per-key sort is the
+serializer's hot spot) is reserved for dicts with non-string keys.  A
+str-keyed dict that happens to contain the tag key itself still takes
+the wrapped path, keeping decoding unambiguous.
 """
 
 from __future__ import annotations
@@ -35,6 +43,8 @@ def _encode(obj: Any) -> Any:
     if isinstance(obj, list):
         return [_encode(x) for x in obj]
     if isinstance(obj, dict):
+        if _TAG not in obj and all(type(k) is str for k in obj):
+            return {k: _encode(v) for k, v in obj.items()}
         items = []
         for key, value in obj.items():
             items.append([_encode_key(key), _encode(value)])
@@ -56,6 +66,8 @@ def _decode(obj: Any) -> Any:
         return [_decode(x) for x in obj]
     if isinstance(obj, dict):
         tag = obj.get(_TAG)
+        if tag is None:
+            return {k: _decode(v) for k, v in obj.items()}
         if tag == "b":
             return b64decode(obj["v"])
         if tag == "t":

@@ -1,0 +1,342 @@
+"""``python -m repro.tools.bench_net``: the wire + scheduler perf
+trajectory, written to ``BENCH_net.json`` and ``BENCH_sched.json``.
+
+Two measurements, committed alongside every change to the wire path or
+the dispatch loop so the repository carries its own perf history:
+
+1. **Streaming wire path** — a message stream crosses a real localhost
+   socket to a protocol-faithful receiver, twice.  The *baseline* mode
+   is the pre-batching wire path, frozen in this harness because the
+   live code no longer works that way: one ``FRAME_ITEM`` per message
+   assembled with four allocations, the tagged-dict canonical
+   serializer (whose per-key sort was the encoder hot spot), and a
+   receiver that answers and flushes one ACK per item — exactly the
+   historical ``channel._converse`` / ``server._item_loop`` pair.  The
+   *batched* mode is the shipped :class:`~repro.net.channel
+   .OutboundChannel`: scratch-buffer frame assembly, ``FRAME_BATCH``
+   packing, and one coalesced ACK per frame.  Reported per mode:
+   msgs/sec, bytes per frame write (≈ bytes per syscall), ack frames
+   per delivered item, and p50/p99 enqueue-to-ack latency.
+2. **Scheduler dispatch** — the stock pipeline deployment runs purely
+   in simulation and we report dispatched messages per wall second,
+   which is dominated by the dispatch/silence hot loop
+   (:meth:`~repro.core.scheduler.ComponentRuntime.maybe_dispatch`).
+
+``--quick`` shrinks both runs for CI smoke; the committed snapshots
+should come from a full run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import statistics
+import struct
+import time
+from pathlib import Path
+from typing import Any, Dict, List
+
+from repro.core.message import SilenceAdvance
+from repro.net import codec
+from repro.net.channel import OutboundChannel
+
+_LEN = struct.Struct(">I")
+
+#: Messages enqueued between cooperative yields: the pump injects sim
+#: events in bursts, and the socket loop coalesces whatever accumulated.
+_ENQUEUE_CHUNK = 256
+
+
+# ----------------------------------------------------------------------
+# The frozen pre-batching wire path (bench-local; see module docstring).
+# ----------------------------------------------------------------------
+def _legacy_encode(obj: Any) -> Any:
+    """The historical tagged-dict canonical transform (every dict pays a
+    per-key ``json.dumps`` for sort ordering — the old encoder hot spot)."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, tuple):
+        return {"__t__": "t", "v": [_legacy_encode(x) for x in obj]}
+    if isinstance(obj, list):
+        return [_legacy_encode(x) for x in obj]
+    if isinstance(obj, dict):
+        items = [[_legacy_encode(k), _legacy_encode(v)]
+                 for k, v in obj.items()]
+        items.sort(key=lambda kv: json.dumps(kv[0], sort_keys=True))
+        return {"__t__": "d", "v": items}
+    raise TypeError(f"unsupported bench payload {type(obj).__name__}")
+
+
+def _legacy_frame(frame_tag: int, body: Any) -> bytes:
+    """Historical four-allocation frame assembly (one frame per call)."""
+    blob = json.dumps(_legacy_encode(body), sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    return (_LEN.pack(2 + len(blob))
+            + bytes([codec.WIRE_VERSION]) + bytes([frame_tag]) + blob)
+
+
+async def _legacy_stream(port: int, n_messages: int) -> Dict:
+    """Drive the frozen per-item sender loop against ``port``."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(codec.encode_hello("bench:legacy", "sink"))
+    await writer.drain()
+    frame = await codec.read_frame(reader)
+    assert frame is not None and frame[0] == codec.FRAME_WELCOME
+
+    enqueued_at: List[float] = []
+    latencies_us: List[float] = []
+    stats = {"frames_sent": 0, "bytes_sent": 0, "acks_received": 0,
+             "batches_sent": 0}
+    acked_through = 0
+
+    async def consume_acks() -> None:
+        nonlocal acked_through
+        while acked_through < n_messages:
+            frame = await codec.read_frame(reader)
+            if frame is None:
+                return
+            if frame[0] != codec.FRAME_ACK:
+                continue
+            stats["acks_received"] += 1
+            upto = int(frame[1].get("upto", 0))
+            now = time.perf_counter()
+            for seq in range(acked_through, upto):
+                latencies_us.append((now - enqueued_at[seq]) * 1e6)
+            acked_through = max(acked_through, upto)
+
+    started = time.perf_counter()
+    acks = asyncio.get_running_loop().create_task(consume_acks())
+    for seq in range(n_messages):
+        enqueued_at.append(time.perf_counter())
+        msg = SilenceAdvance(0, seq)
+        frame = _legacy_frame(
+            codec.FRAME_ITEM,
+            {"seq": seq, "src": "bench-src", "dst": "sink",
+             "msg": codec.encode_message(msg)},
+        )
+        writer.write(frame)
+        stats["frames_sent"] += 1
+        stats["bytes_sent"] += len(frame)
+        if seq % _ENQUEUE_CHUNK == _ENQUEUE_CHUNK - 1:
+            await writer.drain()
+            await asyncio.sleep(0)
+    await writer.drain()
+    await acks
+    wall_s = time.perf_counter() - started
+    writer.close()
+    try:
+        await writer.wait_closed()
+    except (ConnectionError, OSError):
+        pass
+    return _mode_result(n_messages, wall_s, stats, latencies_us)
+
+
+# ----------------------------------------------------------------------
+# The shipped batched wire path.
+# ----------------------------------------------------------------------
+async def _batched_stream(port: int, n_messages: int) -> Dict:
+    """Drive a real :class:`OutboundChannel` (batch frames, scratch
+    encoder) against ``port``."""
+    enqueued_at: List[float] = []
+    latencies_us: List[float] = []
+    acked_through = 0
+
+    def on_ack(upto: int) -> None:
+        nonlocal acked_through
+        now = time.perf_counter()
+        for seq in range(acked_through, upto):
+            latencies_us.append((now - enqueued_at[seq]) * 1e6)
+        acked_through = max(acked_through, upto)
+
+    channel = OutboundChannel("bench:1", "sink", [("127.0.0.1", port)],
+                              ack_watcher=on_ack)
+    channel.start()
+    started = time.perf_counter()
+    for seq in range(n_messages):
+        enqueued_at.append(time.perf_counter())
+        channel.enqueue("bench-src", SilenceAdvance(0, seq))
+        if seq % _ENQUEUE_CHUNK == _ENQUEUE_CHUNK - 1:
+            await asyncio.sleep(0)
+    while channel.items_acked < n_messages:
+        await asyncio.sleep(0.001)
+    wall_s = time.perf_counter() - started
+    counters = channel.counters()
+    await channel.close()
+    return _mode_result(n_messages, wall_s, counters, latencies_us)
+
+
+class _Receiver:
+    """Protocol-faithful receiving end, switchable ack policy.
+
+    ``ack_per_item=True`` reproduces the historical server loop: every
+    item is answered with its own ACK frame and an immediate flush.
+    False matches the current server: one cumulative ACK per received
+    frame.  Batch bodies decode either way (the decoder reads both the
+    tagged legacy encoding and the current plain one).
+    """
+
+    def __init__(self, ack_per_item: bool):
+        self.ack_per_item = ack_per_item
+        self.expected = 0
+        self.server = None
+        self.port = None
+
+    async def start(self) -> None:
+        self.server = await asyncio.start_server(self._conn, "127.0.0.1", 0)
+        self.port = self.server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        self.server.close()
+        await self.server.wait_closed()
+
+    async def _conn(self, reader, writer) -> None:
+        try:
+            frame = await codec.read_frame(reader)
+            if frame is None or frame[0] != codec.FRAME_HELLO:
+                return
+            writer.write(codec.encode_welcome("bench#1"))
+            await writer.drain()
+            encoder = codec.FrameEncoder()
+            while True:
+                frame = await codec.read_frame(reader)
+                if frame is None:
+                    return
+                tag, body = frame
+                if tag == codec.FRAME_ITEM:
+                    items = (body,)
+                elif tag == codec.FRAME_BATCH:
+                    items = codec.batch_items(body)
+                else:
+                    continue
+                for item in items:
+                    seq = int(item["seq"])
+                    if seq >= self.expected:
+                        self.expected = seq + 1
+                    if self.ack_per_item:
+                        writer.write(encoder.encode_ack(self.expected))
+                        await writer.drain()
+                if not self.ack_per_item:
+                    writer.write(encoder.encode_ack(self.expected))
+                    await writer.drain()
+        except (ConnectionError, OSError, codec.TransportError):
+            pass
+        finally:
+            writer.close()
+
+
+def _latency_summary(samples_us: List[float]) -> Dict:
+    ordered = sorted(samples_us)
+    return {
+        "samples": len(ordered),
+        "mean_us": round(statistics.fmean(ordered), 2),
+        "p50_us": round(ordered[len(ordered) // 2], 2),
+        "p99_us": round(ordered[min(len(ordered) - 1,
+                                    int(len(ordered) * 0.99))], 2),
+    }
+
+
+def _mode_result(n_messages: int, wall_s: float, counters: Dict,
+                 latencies_us: List[float]) -> Dict:
+    return {
+        "messages": n_messages,
+        "wall_s": round(wall_s, 4),
+        "msgs_per_sec": round(n_messages / wall_s, 1),
+        "frames_sent": counters["frames_sent"],
+        "batches_sent": counters["batches_sent"],
+        "bytes_sent": counters["bytes_sent"],
+        "bytes_per_frame": round(
+            counters["bytes_sent"] / max(1, counters["frames_sent"]), 1),
+        "acks_received": counters["acks_received"],
+        "ack_frames_per_item": round(
+            counters["acks_received"] / max(1, n_messages), 4),
+        "enqueue_to_ack": _latency_summary(latencies_us),
+    }
+
+
+async def _run_mode(n_messages: int, batched: bool) -> Dict:
+    receiver = _Receiver(ack_per_item=not batched)
+    await receiver.start()
+    try:
+        if batched:
+            return await _batched_stream(receiver.port, n_messages)
+        return await _legacy_stream(receiver.port, n_messages)
+    finally:
+        await receiver.stop()
+
+
+def bench_wire(n_messages: int) -> Dict:
+    """Frozen pre-batching path vs the shipped batched path."""
+    baseline = asyncio.run(_run_mode(n_messages, batched=False))
+    batched = asyncio.run(_run_mode(n_messages, batched=True))
+    return {
+        "baseline": baseline,
+        "batched": batched,
+        "speedup_msgs_per_sec": round(
+            batched["msgs_per_sec"] / baseline["msgs_per_sec"], 2),
+        "ack_frames_per_item_drop": round(
+            baseline["ack_frames_per_item"]
+            - batched["ack_frames_per_item"], 4),
+    }
+
+
+def bench_scheduler(span_ms: float) -> Dict:
+    """Dispatched messages per wall second on the stock pipeline app."""
+    from repro.apps.pipeline import build_pipeline_app, reading_factory
+    from repro.runtime.app import Deployment
+    from repro.runtime.placement import Placement
+    from repro.sim.kernel import ms
+
+    app = build_pipeline_app(window=5)
+    dep = Deployment(
+        app,
+        Placement({"parser": "E1", "enricher": "E1", "aggregator": "E2"}),
+        master_seed=7,
+    )
+    dep.add_poisson_producer("readings", reading_factory(),
+                             mean_interarrival=ms(1))
+    started = time.perf_counter()
+    dep.run(until=ms(span_ms))
+    wall_s = time.perf_counter() - started
+    processed = dep.metrics.counter("messages_processed")
+    return {
+        "span_sim_ms": span_ms,
+        "wall_s": round(wall_s, 4),
+        "messages_processed": processed,
+        "events_per_sec": round(processed / wall_s, 1),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.bench_net",
+        description="Measure wire-path and scheduler throughput; write "
+                    "BENCH_net.json and BENCH_sched.json.",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="small run for CI smoke (do not commit)")
+    parser.add_argument("--out-dir", default=".",
+                        help="directory the BENCH files are written to")
+    args = parser.parse_args(argv)
+
+    n_messages = 2_000 if args.quick else 20_000
+    span_ms = 200.0 if args.quick else 2_000.0
+
+    net = {"bench": "net", "quick": args.quick}
+    net.update(bench_wire(n_messages))
+    sched = {"bench": "sched", "quick": args.quick}
+    sched.update(bench_scheduler(span_ms))
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for name, payload in (("BENCH_net.json", net),
+                          ("BENCH_sched.json", sched)):
+        path = out_dir / name
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,11 +5,21 @@ A component with fan-in > 1 may only dequeue the earliest pending message
 (pessimistic scheduling, paper II.D/II.E).  :class:`SilenceMap` holds the
 per-wire horizons and answers exactly that question, and reports which
 wires are blocking — the targets of curiosity probes.
+
+The dispatch loop asks :meth:`silent_through` and :meth:`min_horizon`
+once per delivered event, so both are backed by a lazy min-heap of
+``(horizon, wire_id)`` entries: :meth:`advance` pushes the new horizon
+and leaves the superseded entry in place, and readers discard stale
+entries (ones that no longer match the wire's current horizon) as they
+surface.  Each heap read is then amortized O(log n) instead of a full
+O(n) scan of the horizon table — the horizons dict stays the source of
+truth, the heap is just an index over it.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+import heapq
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import SchedulingError
 from repro.vt.time import NEVER
@@ -20,17 +30,25 @@ class SilenceMap:
 
     def __init__(self, wire_ids: Iterable[int] = ()):
         self._horizons: Dict[int, int] = {int(w): -1 for w in wire_ids}
+        #: Lazy min-heap over the horizons: superseded entries stay until
+        #: a reader pops them ("stale" = value != current horizon).
+        self._heap: List[Tuple[int, int]] = [
+            (-1, w) for w in self._horizons
+        ]
+        heapq.heapify(self._heap)
 
     def add_wire(self, wire_id: int) -> None:
         """Register an input wire (horizon starts at -1: nothing known)."""
         if wire_id in self._horizons:
             raise SchedulingError(f"wire {wire_id} already registered")
         self._horizons[wire_id] = -1
+        heapq.heappush(self._heap, (-1, wire_id))
 
     def close_wire(self, wire_id: int) -> None:
         """Mark a wire permanently silent (its sender terminated)."""
         self._require(wire_id)
         self._horizons[wire_id] = NEVER
+        heapq.heappush(self._heap, (NEVER, wire_id))
 
     def advance(self, wire_id: int, through_vt: int) -> bool:
         """Raise a wire's horizon; returns True if it moved.
@@ -41,6 +59,7 @@ class SilenceMap:
         self._require(wire_id)
         if through_vt > self._horizons[wire_id]:
             self._horizons[wire_id] = through_vt
+            heapq.heappush(self._heap, (through_vt, wire_id))
             return True
         return False
 
@@ -49,25 +68,43 @@ class SilenceMap:
         self._require(wire_id)
         return self._horizons[wire_id]
 
+    def _clean_top(self) -> Optional[Tuple[int, int]]:
+        """The least live (horizon, wire_id) entry, discarding stale ones.
+
+        Monotonic horizons make staleness a pure value check: an entry is
+        live iff it still equals the wire's current horizon, and at most
+        one such entry per wire exists (pushes happen only on strict
+        increase).
+        """
+        heap = self._heap
+        while heap and heap[0][0] != self._horizons.get(heap[0][1]):
+            heapq.heappop(heap)
+        return heap[0] if heap else None
+
     def min_horizon(self) -> int:
         """The least horizon across all wires (NEVER if no wires)."""
-        if not self._horizons:
-            return NEVER
-        return min(self._horizons.values())
+        top = self._clean_top()
+        return top[0] if top is not None else NEVER
 
     def silent_through(self, vt: int, excluding: int = None) -> bool:
         """Are all wires (optionally except one) accounted through ``vt``?
 
         The scheduler asks this with ``excluding`` set to the wire the
         candidate message arrived on: that wire is accounted *by* the
-        message itself.
+        message itself.  Answered from the heap top (and, when the top is
+        the excluded wire itself, the runner-up), not a full scan.
         """
-        for wire_id, horizon in self._horizons.items():
-            if wire_id == excluding:
-                continue
-            if horizon < vt:
-                return False
-        return True
+        top = self._clean_top()
+        if top is None or top[0] >= vt:
+            return True
+        if top[1] != excluding:
+            return False
+        # The only under-``vt`` candidate so far is the excluded wire:
+        # the verdict is decided by the runner-up minimum.
+        popped = heapq.heappop(self._heap)
+        second = self._clean_top()
+        heapq.heappush(self._heap, popped)
+        return second is None or second[0] >= vt
 
     def blocking_wires(self, vt: int, excluding: int = None) -> List[int]:
         """Wires whose horizon is below ``vt`` — curiosity-probe targets."""
@@ -87,7 +124,7 @@ class SilenceMap:
 
     # -- checkpoint support -------------------------------------------
     def snapshot(self) -> dict:
-        """Serializable horizon map."""
+        """Serializable horizon map (the heap is an index, not state)."""
         return {"horizons": dict(self._horizons)}
 
     @classmethod
@@ -95,6 +132,8 @@ class SilenceMap:
         """Rebuild from :meth:`snapshot` output."""
         obj = cls()
         obj._horizons = {int(k): int(v) for k, v in snap["horizons"].items()}
+        obj._heap = [(h, w) for w, h in obj._horizons.items()]
+        heapq.heapify(obj._heap)
         return obj
 
     def __repr__(self) -> str:

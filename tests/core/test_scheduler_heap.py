@@ -1,0 +1,115 @@
+"""The heap-backed candidate index inside the scheduler hot loop.
+
+``_best_candidate`` / ``_earliest_possible_input`` were rewritten from
+per-call scans over every wire to a lazy min-heap of (head key, wire).
+These tests pin the invariants that rewrite rests on: the heap top —
+after discarding stale entries — is always the true vt-minimum head,
+and the fast-path bound equals the brute-force per-wire scan.
+"""
+
+from repro.core.component import Component, on_message
+from repro.core.cost import fixed_cost
+from repro.core.message import DataMessage, SilenceAdvance
+from repro.sim.kernel import us
+from repro.vt.time import NEVER
+
+from tests.helpers import Hub, wire
+
+
+class Sink(Component):
+    def setup(self):
+        self.seen = self.state.value("seen", [])
+
+    @on_message("input", cost=fixed_cost(us(10)))
+    def take(self, payload):
+        self.seen.set(self.seen.get() + [payload])
+
+
+def make_sink(hub, n_wires=3, external=False):
+    hub.add(Sink("m"))
+    for i in range(1, n_wires + 1):
+        hub.connect(wire(i, "data", dst="m"), None, "m", external=external)
+    return hub.runtimes["m"]
+
+
+def scan_earliest(rt):
+    """The pre-rewrite per-wire scan (no external wires wired here)."""
+    earliest = NEVER
+    for w in rt.in_wires.values():
+        if w.pending:
+            candidate = w.pending[0].vt
+        else:
+            candidate = rt.silence.horizon(w.spec.wire_id) + 1
+        earliest = min(earliest, candidate)
+    return earliest
+
+
+class TestEarliestPossibleInput:
+    def test_fast_path_equals_per_wire_scan(self):
+        hub = Hub()
+        rt = make_sink(hub)
+        assert rt._earliest_possible_input() == scan_earliest(rt) == 0
+
+        # Arrivals keep other wires silent at -1, so nothing dispatches
+        # and the pending heads stay put for the comparison.
+        script = [
+            ("data", 1, 0, 500),
+            ("data", 1, 1, 900),      # behind wire 1's head
+            ("silence", 2, 300),
+            ("data", 3, 0, 250),      # new global minimum head
+            ("silence", 2, 800),      # stale heap entry for wire 2
+            ("data", 2, 0, 1000),
+        ]
+        for step in script:
+            if step[0] == "data":
+                _, wid, seq, vt = step
+                rt.on_data(DataMessage(wid, seq, vt, f"p{vt}"))
+            else:
+                _, wid, vt = step
+                rt.on_silence(SilenceAdvance(wire_id=wid, through_vt=vt))
+            assert rt._earliest_possible_input() == scan_earliest(rt)
+
+    def test_empty_wiring_is_never(self):
+        hub = Hub()
+        hub.add(Sink("m"))
+        assert hub.runtimes["m"]._earliest_possible_input() == NEVER
+
+
+class TestHeadHeap:
+    def test_dispatch_discards_stale_entries_and_keeps_vt_order(self):
+        hub = Hub()
+        rt = make_sink(hub, n_wires=2)
+        # Out of vt order across wires; several heads per wire.
+        rt.on_data(DataMessage(1, 0, 300, "c"))
+        rt.on_data(DataMessage(2, 0, 100, "a"))
+        rt.on_data(DataMessage(2, 1, 400, "d"))
+        rt.on_data(DataMessage(1, 1, 350, "x"))
+        for wid, vt in ((1, 1000), (2, 1000)):
+            rt.on_silence(SilenceAdvance(wire_id=wid, through_vt=vt))
+        hub.run()
+        assert rt.component.seen.get() == ["a", "c", "x", "d"]
+        # Everything dispatched: only stale entries remain, and the
+        # cleaner reports an empty candidate set.
+        assert rt._best_candidate() is None
+        assert rt._head_heap == []
+
+    def test_restore_rebuilds_heap_from_pending(self):
+        hub = Hub()
+        rt = make_sink(hub)
+        rt.on_data(DataMessage(1, 0, 700, "late"))
+        rt.on_data(DataMessage(3, 0, 200, "early"))
+        snap = rt.snapshot(incremental=False)
+
+        hub2 = Hub()
+        rt2 = make_sink(hub2)
+        rt2.restore(snap)
+        assert len(rt2._head_heap) == 2  # one live entry per pending wire
+        msg, w = rt2._best_candidate()
+        assert (msg.vt, w.spec.wire_id) == (200, 3)
+        assert rt2._earliest_possible_input() == scan_earliest(rt2)
+
+        # The restored runtime schedules identically to a live one.
+        for wid in (1, 2, 3):
+            rt2.on_silence(SilenceAdvance(wire_id=wid, through_vt=1000))
+        hub2.run()
+        assert rt2.component.seen.get() == ["early", "late"]

@@ -6,7 +6,7 @@ import time
 import pytest
 
 from repro.core.message import SilenceAdvance
-from repro.errors import FenceDeliveryError
+from repro.errors import FenceDeliveryError, TransportError
 from repro.net import codec
 from repro.net.channel import (
     OutboundChannel,
@@ -16,7 +16,14 @@ from repro.net.channel import (
 
 
 class FakeHost:
-    """Minimal receiving end of the channel protocol, scriptable."""
+    """Minimal receiving end of the channel protocol, scriptable.
+
+    Understands both singleton ITEM frames and BATCH frames, and — like
+    the real server — coalesces acknowledgements to one cumulative ACK
+    per received frame.  ``ack_script`` lets tests answer with arbitrary
+    (wrong) ``upto`` values instead, to exercise the sender's ack-window
+    guard.
+    """
 
     def __init__(self, incarnation="hostA#1", accept=True):
         self.incarnation = incarnation
@@ -26,6 +33,9 @@ class FakeHost:
         self.items = []
         self.hellos = 0
         self.drop_after = None  # close (unacked) after N items, once
+        #: When set: per-frame override of the acked ``upto`` (a callable
+        #: taking the would-be honest value, returning the sent one).
+        self.ack_script = None
         self._writer = None
         self.server = None
         self.port = None
@@ -64,21 +74,29 @@ class FakeHost:
                 if frame is None:
                     return
                 tag, body = frame
-                if tag != codec.FRAME_ITEM:
+                if tag == codec.FRAME_ITEM:
+                    bodies = (body,)
+                elif tag == codec.FRAME_BATCH:
+                    bodies = codec.batch_items(body)
+                else:
                     continue
-                seq = int(body["seq"])
-                if seq >= self.expected:
-                    self.expected = seq + 1
-                    self.items.append((seq, body["src"],
-                                       codec.decode_message(body["msg"])))
-                received += 1
+                for item in bodies:
+                    seq = int(item["seq"])
+                    if seq >= self.expected:
+                        self.expected = seq + 1
+                        self.items.append((seq, item["src"],
+                                           codec.decode_message(item["msg"])))
+                    received += 1
                 if self.drop_after is not None \
                         and received >= self.drop_after:
                     self.drop_after = None
                     return  # hang up without acknowledging
-                writer.write(codec.encode_ack(self.expected))
+                upto = self.expected
+                if self.ack_script is not None:
+                    upto = self.ack_script(upto)
+                writer.write(codec.encode_ack(upto))
                 await writer.drain()
-        except (ConnectionError, OSError):
+        except (ConnectionError, OSError, TransportError):
             pass
         finally:
             writer.close()
@@ -358,9 +376,51 @@ def test_counters_snapshot_shape():
     assert set(counters) == {
         "items_sent", "items_acked", "items_resent",
         "reconnects", "connect_failures", "epoch_resets",
+        "frames_sent", "batches_sent", "bytes_sent",
+        "acks_received", "acks_rejected",
+        "torn_frames", "proto_rejects",
     }
     assert counters["items_sent"] == 1
     assert counters["items_acked"] == 1
     assert counters["items_resent"] == 0
     assert counters["connect_failures"] == 0
     assert counters["epoch_resets"] == 0
+
+
+def test_stale_and_overrun_acks_rejected_then_recovered():
+    """The ack-window guard: ``upto`` outside [frontier, next_seq] is
+    counted and ignored — a regressing ack must not resurrect already
+    -acked items, and an overrunning ack must not release unsent ones."""
+    async def scenario():
+        host = FakeHost()
+        await host.start()
+        channel = OutboundChannel("sender:1", "n",
+                                  [("127.0.0.1", host.port)])
+        channel.start()
+        channel.enqueue("src", msg(0))
+        await wait_until(lambda: channel.items_acked == 1)
+
+        host.ack_script = lambda honest: 0  # regress below the frontier
+        channel.enqueue("src", msg(1))
+        await wait_until(lambda: channel.counters()["acks_rejected"] == 1)
+        assert channel.items_acked == 1  # frontier held
+
+        host.ack_script = lambda honest: honest + 50  # ack the future
+        channel.enqueue("src", msg(2))
+        await wait_until(lambda: channel.counters()["acks_rejected"] == 2)
+        assert channel.items_acked == 1  # overrun ignored too
+
+        host.ack_script = None
+        host.kick()  # reconnect; honest acks resume
+        await wait_until(lambda: channel.items_acked == 3)
+        await channel.close()
+        await host.stop()
+        return host, channel
+
+    host, channel = asyncio.run(scenario())
+    counters = channel.counters()
+    assert counters["acks_rejected"] == 2
+    assert counters["items_acked"] == 3
+    # The bogus acks never corrupted delivery: exactly once, in order.
+    assert [seq for seq, _, _ in host.items] == [0, 1, 2]
+    assert [m.through_vt for _, _, m in host.items] == [0, 1, 2]

@@ -142,3 +142,136 @@ def test_oversized_frame_rejected():
     header = (codec.MAX_FRAME_BYTES + 1).to_bytes(4, "big")
     with pytest.raises(codec.CodecError, match="too large"):
         splitter.feed(header)
+
+def test_batch_frame_roundtrip():
+    encoder = codec.FrameEncoder()
+    bodies = [codec.item_body(i, "src", "dst",
+                              SilenceAdvance(wire_id=1, through_vt=i * 10))
+              for i in range(5)]
+    raw = encoder.encode_batch(bodies)
+    tag, body = codec.decode_frame_payload(raw[4:])
+    assert tag == codec.FRAME_BATCH
+    items = codec.batch_items(body)
+    assert [it["seq"] for it in items] == [0, 1, 2, 3, 4]
+    assert [codec.decode_message(it["msg"]).through_vt
+            for it in items] == [0, 10, 20, 30, 40]
+
+
+def test_batch_and_error_tags_pinned():
+    # 6 and 7 are permanent: renumbering is a wire format break.
+    assert codec.FRAME_BATCH == 6
+    assert codec.FRAME_ERROR == 7
+
+
+def test_malformed_batch_rejected():
+    with pytest.raises(codec.CodecError, match="malformed batch"):
+        codec.batch_items({"itms": []})
+    with pytest.raises(codec.CodecError, match="malformed batch"):
+        codec.batch_items({"items": "not-a-list"})
+
+
+def test_frame_encoder_bytes_identical_to_encode_frame():
+    encoder = codec.FrameEncoder(initial_capacity=8)  # force growth too
+    msg = DataMessage(wire_id=3, seq=9, vt=555, payload={"k": [1, (2, 3)]})
+    assert (encoder.encode(codec.FRAME_ITEM,
+                           codec.item_body(9, "a", "b", msg))
+            == codec.encode_item(9, "a", "b", msg))
+    assert encoder.encode_ack(42) == codec.encode_ack(42)
+    # Scratch reuse across differently-sized frames stays clean.
+    big = codec.item_body(1, "a", "b",
+                          DataMessage(wire_id=1, seq=1, vt=1,
+                                      payload="x" * 2048))
+    assert encoder.encode(codec.FRAME_ITEM, big) == codec.encode_frame(
+        codec.FRAME_ITEM, big)
+    assert encoder.encode_ack(0) == codec.encode_ack(0)
+
+
+def test_error_frame_roundtrip():
+    raw = codec.encode_error("unsupported wire protocol 9")
+    tag, body = codec.decode_frame_payload(raw[4:])
+    assert tag == codec.FRAME_ERROR
+    assert body["proto"] == codec.WIRE_VERSION
+    assert "unsupported" in body["error"]
+
+
+def test_splitter_eof_mid_frame_raises():
+    from repro.errors import TransportError
+
+    splitter = codec.FrameSplitter()
+    raw = codec.encode_ack(7)
+    splitter.feed(raw[:5])  # full header + 1 payload byte
+    assert splitter.pending_bytes == 5
+    with pytest.raises(TransportError, match="mid-frame"):
+        splitter.eof()
+
+
+def test_splitter_eof_on_boundary_is_clean():
+    splitter = codec.FrameSplitter()
+    assert splitter.feed(codec.encode_ack(7))  # complete frame consumed
+    assert splitter.pending_bytes == 0
+    splitter.eof()  # no raise
+
+
+def _socketpair_streams():
+    """(reader, raw send socket) over a real connected socket pair."""
+    import asyncio
+    import socket
+
+    async def build():
+        s1, s2 = socket.socketpair()
+        reader, writer = await asyncio.open_connection(sock=s1)
+        return reader, writer, s2
+
+    return build
+
+
+def test_read_frame_clean_eof_returns_none():
+    import asyncio
+
+    async def scenario():
+        reader, writer, peer = await _socketpair_streams()()
+        raw = codec.encode_ack(3)
+        peer.sendall(raw)
+        peer.close()  # EOF exactly on the frame boundary
+        first = await codec.read_frame(reader)
+        second = await codec.read_frame(reader)
+        writer.close()
+        return first, second
+
+    first, second = asyncio.run(scenario())
+    assert first == (codec.FRAME_ACK, {"upto": 3})
+    assert second is None
+
+
+def test_read_frame_torn_mid_payload_raises():
+    import asyncio
+
+    from repro.errors import TransportError
+
+    async def scenario():
+        reader, writer, peer = await _socketpair_streams()()
+        raw = codec.encode_item(0, "a", "b",
+                                SilenceAdvance(wire_id=1, through_vt=5))
+        peer.sendall(raw[: len(raw) - 3])  # full header, partial payload
+        peer.close()
+        with pytest.raises(TransportError, match="payload bytes"):
+            await codec.read_frame(reader)
+        writer.close()
+
+    asyncio.run(scenario())
+
+
+def test_read_frame_torn_mid_header_raises():
+    import asyncio
+
+    from repro.errors import TransportError
+
+    async def scenario():
+        reader, writer, peer = await _socketpair_streams()()
+        peer.sendall(codec.encode_ack(1)[:2])  # partial length prefix
+        peer.close()
+        with pytest.raises(TransportError, match="header bytes"):
+            await codec.read_frame(reader)
+        writer.close()
+
+    asyncio.run(scenario())

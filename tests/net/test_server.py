@@ -1,0 +1,149 @@
+"""Inbound protocol of :class:`~repro.net.server.ProcessRuntime`:
+version negotiation, batch delivery, ack coalescing, torn frames."""
+
+import asyncio
+
+from repro.core.message import SilenceAdvance
+from repro.net import codec
+from repro.net.channel import OutboundChannel
+from repro.net.server import ProcessRuntime
+from repro.net.topology import ClusterSpec
+
+from tests.net.test_channel import wait_until
+
+
+class StubNode:
+    """Minimal hosted destination (alive, swallows deliveries)."""
+
+    def __init__(self, node_id="sink"):
+        self.node_id = node_id
+        self.alive = True
+        self.received = []
+
+    def receive(self, item):
+        self.received.append(item)
+
+
+async def _serve(runtime):
+    server = await asyncio.start_server(
+        runtime._handle_conn, "127.0.0.1", 0
+    )
+    return server, server.sockets[0].getsockname()[1]
+
+
+def test_wrong_proto_hello_gets_structured_error():
+    async def scenario():
+        runtime = ProcessRuntime("engine-e0", ClusterSpec())
+        server, port = await _serve(runtime)
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(codec.encode_hello("old-peer", "sink", proto=99))
+        await writer.drain()
+        frame = await codec.read_frame(reader)
+        eof = await codec.read_frame(reader)  # server hangs up after it
+        writer.close()
+        server.close()
+        await server.wait_closed()
+        return runtime, frame, eof
+
+    runtime, frame, eof = asyncio.run(scenario())
+    assert frame is not None
+    tag, body = frame
+    assert tag == codec.FRAME_ERROR
+    assert "unsupported wire protocol 99" in body["error"]
+    assert body["proto"] == codec.WIRE_VERSION
+    assert eof is None  # rejected before any WELCOME leaked
+    assert runtime.proto_rejects == 1
+
+
+def test_channel_parks_on_proto_reject(monkeypatch):
+    """A channel speaking another wire version is rejected once and
+    parks instead of hammering the host with doomed handshakes."""
+    real_hello = codec.encode_hello
+    monkeypatch.setattr(
+        codec, "encode_hello",
+        lambda peer, dst, proto=codec.WIRE_VERSION: real_hello(
+            peer, dst, proto=99),
+    )
+
+    async def scenario():
+        runtime = ProcessRuntime("engine-e0", ClusterSpec())
+        server, port = await _serve(runtime)
+        channel = OutboundChannel("sender:1", "sink",
+                                  [("127.0.0.1", port)])
+        channel.start()
+        channel.enqueue("src", SilenceAdvance(wire_id=1, through_vt=0))
+        await wait_until(lambda: channel.last_error is not None)
+        await asyncio.sleep(0.05)  # would-be retry window
+        hellos = runtime.proto_rejects
+        await channel.close()
+        server.close()
+        await server.wait_closed()
+        return runtime, channel, hellos
+
+    runtime, channel, hellos = asyncio.run(scenario())
+    assert isinstance(channel.last_error, codec.CodecError)
+    assert "rejected handshake" in str(channel.last_error)
+    assert channel.proto_rejects == 1
+    assert hellos == 1  # parked: no reconnect storm after the reject
+    assert channel.counters()["items_acked"] == 0
+
+
+def test_batch_frame_delivers_items_with_one_ack():
+    async def scenario():
+        runtime = ProcessRuntime("engine-e0", ClusterSpec())
+        sink = StubNode()
+        runtime.transport.register(sink)
+        server, port = await _serve(runtime)
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(codec.encode_hello("peer-x", "sink"))
+        await writer.drain()
+        welcome = await codec.read_frame(reader)
+        encoder = codec.FrameEncoder()
+        bodies = [codec.item_body(i, "src", "sink",
+                                  SilenceAdvance(wire_id=1, through_vt=i))
+                  for i in range(3)]
+        writer.write(encoder.encode_batch(bodies))
+        await writer.drain()
+        ack = await codec.read_frame(reader)
+        # A duplicate singleton replay of seq 1 is deduplicated but
+        # still acked (cumulative, one ack per frame).
+        writer.write(codec.encode_item(
+            1, "src", "sink", SilenceAdvance(wire_id=1, through_vt=1)))
+        await writer.drain()
+        ack2 = await codec.read_frame(reader)
+        writer.close()
+        server.close()
+        await server.wait_closed()
+        return runtime, welcome, ack, ack2
+
+    runtime, welcome, ack, ack2 = asyncio.run(scenario())
+    assert welcome[0] == codec.FRAME_WELCOME
+    assert ack == (codec.FRAME_ACK, {"upto": 3})  # one ack for 3 items
+    assert ack2 == (codec.FRAME_ACK, {"upto": 3})  # duplicate: no regress
+    key = ("peer-x", "sink", runtime.transport.incarnations["sink"])
+    assert runtime._recv_expected[key] == 3
+
+
+def test_torn_item_frame_counts_as_reset_not_eof():
+    async def scenario():
+        runtime = ProcessRuntime("engine-e0", ClusterSpec())
+        sink = StubNode()
+        runtime.transport.register(sink)
+        server, port = await _serve(runtime)
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        writer.write(codec.encode_hello("peer-x", "sink"))
+        await writer.drain()
+        assert (await codec.read_frame(reader))[0] == codec.FRAME_WELCOME
+        raw = codec.encode_item(
+            0, "src", "sink", SilenceAdvance(wire_id=1, through_vt=0))
+        writer.write(raw[: len(raw) - 2])  # header + partial payload
+        await writer.drain()
+        writer.close()
+        await wait_until(lambda: runtime.torn_frames == 1)
+        server.close()
+        await server.wait_closed()
+        return runtime
+
+    runtime = asyncio.run(scenario())
+    assert runtime.torn_frames == 1
+    assert runtime.proto_rejects == 0

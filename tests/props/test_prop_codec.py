@@ -136,3 +136,62 @@ def test_checkpoint_chain_roundtrip(full_state, delta_state, cp_seq,
         )
         assert restored == cp
         assert cpser.loads(restored.blob) == cpser.loads(cp.blob)
+
+
+@settings(max_examples=30)
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.lists(messages, min_size=1,
+                                          max_size=5)),
+        min_size=1, max_size=6,
+    ),
+    st.data(),
+)
+def test_batch_and_item_interleaving_roundtrip(bursts, data):
+    """Any interleaving of BATCH and singleton ITEM frames reassembles
+    into the original message sequence, whatever the chunk boundaries.
+
+    Each burst is either one FRAME_BATCH of N items or N singleton
+    FRAME_ITEMs; the byte stream is re-split at arbitrary points before
+    feeding the splitter, so frames straddle feed() calls.
+    """
+    encoder = codec.FrameEncoder()
+    wire = bytearray()
+    expected = []  # (expected_tag, seq, msg) per item, in send order
+    seq = 0
+    for as_batch, msgs in bursts:
+        bodies = [codec.item_body(seq + i, "src", "dst", m)
+                  for i, m in enumerate(msgs)]
+        if as_batch and len(bodies) > 1:
+            wire += encoder.encode_batch(bodies)
+            tag = codec.FRAME_BATCH
+        else:
+            for body in bodies:
+                wire += encoder.encode(codec.FRAME_ITEM, body)
+            tag = codec.FRAME_ITEM
+        expected.extend((tag, seq + i, m) for i, m in enumerate(msgs))
+        seq += len(msgs)
+
+    splitter = codec.FrameSplitter()
+    got = []
+    cursor = 0
+    while cursor < len(wire):
+        step = data.draw(st.integers(1, max(1, len(wire) - cursor)),
+                         label="chunk")
+        got.extend(splitter.feed(bytes(wire[cursor:cursor + step])))
+        cursor += step
+    splitter.eof()  # boundary: clean
+
+    items = []
+    for tag, body in got:
+        if tag == codec.FRAME_BATCH:
+            items.extend((tag, b) for b in codec.batch_items(body))
+        else:
+            items.append((tag, body))
+    assert len(items) == len(expected)
+    for (tag, body), (exp_tag, exp_seq, exp_msg) in zip(items, expected):
+        assert tag == exp_tag
+        assert body["seq"] == exp_seq
+        restored = codec.decode_message(body["msg"])
+        assert restored == exp_msg
+        assert type(restored) is type(exp_msg)

@@ -69,3 +69,45 @@ class TestErrors:
 def test_checkpoint_size():
     blob = dumps({"a": 1})
     assert checkpoint_size(blob) == len(blob) > 0
+
+
+class TestPlainDictFastPath:
+    """Str-keyed dicts skip the tagged ``{"__t__": "d"}`` wrapper (the
+    serializer hot path); tagging is reserved for ambiguous shapes."""
+
+    def test_plain_str_dict_stays_plain_on_the_wire(self):
+        blob = dumps({"b": 2, "a": 1})
+        assert blob == b'{"a":1,"b":2}'  # no wrapper, keys sorted
+
+    def test_plain_dict_is_canonical_across_insertion_order(self):
+        forward = {"x": 1, "y": {"n": [1, 2]}, "z": 3}
+        backward = dict(reversed(list(forward.items())))
+        assert dumps(forward) == dumps(backward)
+        assert loads(dumps(forward)) == forward
+
+    def test_tag_key_collision_takes_the_wrapped_path(self):
+        # A user dict that *contains* the tag key must not be mistaken
+        # for serializer framing when decoded.
+        tricky = {"__t__": "d", "v": [1, 2]}
+        blob = dumps(tricky)
+        assert loads(blob) == tricky
+
+    def test_bool_keys_are_not_str_keys(self):
+        # bool is an int subclass, and type(True) is not str: both take
+        # the tagged path and survive with their types intact.
+        restored = loads(dumps({True: "t"}))
+        assert restored == {True: "t"}
+        assert type(list(restored)[0]) is bool
+
+    def test_legacy_tagged_str_dict_still_decodes(self):
+        # Blobs written before the fast path wrapped *every* dict; the
+        # decoder must keep reading them (old checkpoints, old peers).
+        legacy = b'{"__t__":"d","v":[["a",1],["b",2]]}'
+        assert loads(legacy) == {"a": 1, "b": 2}
+
+    def test_nested_mixed_shapes(self):
+        value = {
+            "plain": {"k": (1, b"\x00\xff")},
+            "tagged": {0: "int-keyed", ("t", 1): "tuple-keyed"},
+        }
+        assert loads(dumps(value)) == value

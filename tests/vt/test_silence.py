@@ -80,3 +80,54 @@ class TestSilenceMap:
         # Serialization round trips may stringify keys; restore coerces.
         restored = SilenceMap.restore({"horizons": {"5": 77}})
         assert restored.horizon(5) == 77
+
+
+class TestLazyHeapIndex:
+    """The min-horizon heap is an index over ``_horizons`` — these tests
+    drive it through the staleness patterns the lazy scheme must absorb."""
+
+    def test_min_horizon_tracks_repeated_advances(self):
+        smap = SilenceMap([1, 2, 3])
+        for h in (10, 20, 30, 40):  # wire 1 leaves a stale entry per step
+            smap.advance(1, h)
+        assert smap.min_horizon() == -1  # wires 2,3 untouched
+        smap.advance(2, 5)
+        smap.advance(3, 7)
+        assert smap.min_horizon() == 5
+        smap.advance(2, 50)
+        assert smap.min_horizon() == 7
+        smap.advance(3, 60)
+        assert smap.min_horizon() == 40
+
+    def test_min_horizon_after_close_wire(self):
+        smap = SilenceMap([1, 2])
+        smap.advance(2, 9)
+        assert smap.min_horizon() == -1
+        smap.close_wire(1)  # the minimum wire leaves; only wire 2 counts
+        assert smap.min_horizon() == 9
+        smap.close_wire(2)
+        assert smap.min_horizon() == NEVER
+
+    def test_excluded_top_uses_runner_up_and_restores_heap(self):
+        smap = SilenceMap([1, 2])
+        smap.advance(2, 100)  # heap top is wire 1 at -1
+        for _ in range(3):  # pop/peek/push-back must be idempotent
+            assert smap.silent_through(100, excluding=1)
+            assert smap.min_horizon() == -1  # top was pushed back intact
+            assert not smap.silent_through(100, excluding=2)
+
+    def test_single_wire_excluded_is_vacuously_silent(self):
+        smap = SilenceMap([1])
+        assert smap.silent_through(10**9, excluding=1)
+        assert smap.min_horizon() == -1
+
+    def test_restore_rebuilds_heap(self):
+        smap = SilenceMap([1, 2, 3])
+        smap.advance(1, 11)
+        smap.advance(2, 22)
+        restored = SilenceMap.restore(smap.snapshot())
+        assert restored.min_horizon() == -1
+        restored.advance(3, 33)
+        assert restored.min_horizon() == 11
+        assert restored.silent_through(11)
+        assert not restored.silent_through(12)
