@@ -141,6 +141,12 @@ class _ProxyConn:
         if tag == codec.FRAME_HELLO:
             peer = str(body.get("peer", ""))
             self.src_proc = peer.rsplit(":", 1)[0] or "?"
+        elif tag == codec.FRAME_GW_HELLO:
+            # Gateway client connections open with GW_HELLO; client ids
+            # are "<group>:<n>", so the group ("clients") names the
+            # source side of the link — one policy covers the fleet.
+            client = str(body.get("client", ""))
+            self.src_proc = client.rsplit(":", 1)[0] or "?"
         return header + payload
 
     async def _stall(self) -> None:

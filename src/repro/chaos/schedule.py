@@ -459,6 +459,27 @@ def _gen_unsurvivable(rng, spec):
     ]
 
 
+def _gen_gateway_client_reset(rng, spec):
+    """Hard-close every live client connection to the gateway mid-burst.
+
+    Exercises the gateway's session-survives-connection contract: the
+    reset rides the ``("clients", "gateway")`` link of the fault proxy
+    (client connections are classified by their GW_HELLO group), so
+    clients must reconnect, retransmit every unanswered req, and be
+    re-answered from the dedup table without a single double-stamp.
+
+    Gateway specs drive load from external wall-clock clients, not from
+    a seeded workload, so ``_span_ms`` is meaningless here; the time
+    canvas comes from ``spec.gateway["span_ms"]`` (the harness sets it
+    to the planned client-burst span).
+    """
+    span = _span_ms(spec)
+    if span <= 1.0:
+        span = float(spec.gateway.get("span_ms", 400.0))
+    return [ChaosEvent("reset", rng.uniform(0.35, 0.65) * span,
+                       link=("clients", "gateway"))]
+
+
 #: name -> generator.  Order matters: ``seed % len`` picks the scenario,
 #: so consecutive seeds sweep the whole failure model.  ``unsurvivable``
 #: is deliberately *not* in the rotation — it is only run when asked
@@ -477,6 +498,7 @@ SCENARIOS = {
 
 EXTRA_SCENARIOS = {
     "unsurvivable": _gen_unsurvivable,
+    "gateway_client_reset": _gen_gateway_client_reset,
 }
 
 _ROTATION = list(SCENARIOS)

@@ -1,0 +1,112 @@
+"""Admission control: per-client rate limiting and global in-flight caps.
+
+Two independent defenses, applied in order at the gateway's socket edge:
+
+1. :class:`TokenBucket` — one per client, refilled at a fixed rate.  A
+   client that outruns its bucket gets a structured BUSY ``"rate"``
+   reject; nothing global is consumed, so one hot client cannot starve
+   the rest.
+2. :class:`AdmissionController` — one per gateway, bounding the total
+   admitted-but-not-yet-stamped work (messages *and* wire bytes).  A
+   submission admitted here is charged until the simulator pump executes
+   its ingress offer; when the offered load exceeds what the pump (or a
+   congested outbound channel) can absorb, the controller refuses and
+   the gateway sheds with BUSY ``"shed"`` instead of queueing without
+   bound — open-loop overload degrades into explicit rejects, never into
+   latency collapse or a crash.
+
+Both are wall-clock mechanisms at the system boundary, *before* the
+virtual-time stamp: shedding changes which messages enter the log, never
+how logged messages replay, so determinism is untouched by overload.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+
+class TokenBucket:
+    """A standard token bucket: ``rate`` tokens/second, ``burst`` cap.
+
+    Time is injected (``now_s``) so tests are deterministic; the bucket
+    starts full, which lets a well-behaved client open with a burst.
+    A non-positive ``rate`` disables limiting (always allows).
+    """
+
+    __slots__ = ("rate", "burst", "_tokens", "_stamp")
+
+    def __init__(self, rate: float, burst: float,
+                 now_s: Optional[float] = None):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = self.burst
+        self._stamp = time.monotonic() if now_s is None else float(now_s)
+
+    def allow(self, n: float = 1.0, now_s: Optional[float] = None) -> bool:
+        """Consume ``n`` tokens if available; False means rate-limited."""
+        if self.rate <= 0:
+            return True
+        now = time.monotonic() if now_s is None else float(now_s)
+        elapsed = now - self._stamp
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._stamp = now
+        if self._tokens >= n:
+            self._tokens -= n
+            return True
+        return False
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available as of the last :meth:`allow` call."""
+        return self._tokens
+
+
+class AdmissionController:
+    """Global in-flight bounds for one gateway.
+
+    ``admit(nbytes)`` charges one message of ``nbytes`` wire bytes and
+    returns False (charging nothing) when either cap would be exceeded
+    or the downstream transport reports congestion; ``release(nbytes)``
+    refunds it once the ingress offer has executed.  Non-positive caps
+    disable the corresponding bound.
+    """
+
+    def __init__(self, max_inflight_msgs: int = 1024,
+                 max_inflight_bytes: int = 8 * 1024 * 1024,
+                 congested: Optional[Callable[[], bool]] = None):
+        self.max_inflight_msgs = int(max_inflight_msgs)
+        self.max_inflight_bytes = int(max_inflight_bytes)
+        self._congested = congested
+        self.inflight_msgs = 0
+        self.inflight_bytes = 0
+        #: Diagnostics: lifetime admits / refusals.
+        self.admitted = 0
+        self.refused = 0
+
+    def admit(self, nbytes: int) -> bool:
+        """Charge one in-flight message, or refuse without charging."""
+        if (self.max_inflight_msgs > 0
+                and self.inflight_msgs + 1 > self.max_inflight_msgs):
+            self.refused += 1
+            return False
+        if (self.max_inflight_bytes > 0
+                and self.inflight_bytes + nbytes > self.max_inflight_bytes):
+            self.refused += 1
+            return False
+        if self._congested is not None and self._congested():
+            # An outbound channel is over its high-water mark: the
+            # engine is not absorbing what was already admitted, so new
+            # work is shed instead of piling onto the backlog.
+            self.refused += 1
+            return False
+        self.inflight_msgs += 1
+        self.inflight_bytes += nbytes
+        self.admitted += 1
+        return True
+
+    def release(self, nbytes: int) -> None:
+        """Refund one admitted message (clamped at zero for safety)."""
+        self.inflight_msgs = max(0, self.inflight_msgs - 1)
+        self.inflight_bytes = max(0, self.inflight_bytes - nbytes)

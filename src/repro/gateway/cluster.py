@@ -1,0 +1,555 @@
+"""Gateway acceptance harness: real clients, real cluster, replayed oracle.
+
+``python -m repro.gateway.cluster`` (also reachable as ``python -m
+repro.net.cluster --gateway``) is the end-to-end proof for the public
+ingress path.  It differs from the producer-driven harness in one
+fundamental way: external submissions arrive at *wall-clock* times over
+real sockets, so no seeded simulation can predict the ingress log up
+front.  The determinism oracle therefore runs **after** the live run:
+
+1. spawn the usual engine/replica processes, host the ingresses and
+   consumers on the coordinator, and put a :class:`~repro.gateway
+   .server.GatewayServer` in front of the ingresses;
+2. drive it with a fleet of open-loop TCP clients (:mod:`repro.gateway
+   .client`), optionally SIGKILLing the active engine mid-stream or
+   resetting client connections through the chaos proxy;
+3. replay the gateway's shadow log — every admitted ``(seq, vt,
+   stamped payload)`` — into a *fresh pure simulation* at the recorded
+   virtual times (:func:`replay_reference`).  Because the ingress stamp
+   is ``vt = max(now, last_vt + 1)`` and the recorded stamps are
+   strictly increasing per wire, the replay reproduces the ingress log
+   exactly, and a deterministic engine must then reproduce the consumer
+   stream byte for byte;
+4. wait for the live consumers to reach the replayed counts and judge
+   the streams with :func:`~repro.tools.verify_determinism
+   .verify_trace_equivalence`, plus the client-side exactly-once checks
+   (no conflicting ACCEPTs, no duplicated ingress sequence numbers).
+
+Failover transparency is judged from the client ledger: across a
+``--kill-active`` run the fleet must report zero reconnects — client
+connections terminate at the gateway, which never dies, so an engine
+failover is invisible at the socket layer.
+
+Gateway runs default to ``speed=1.0`` (one simulated tick per real
+nanosecond), so consumer latency percentiles come out in honest
+microseconds of admission-to-delivery time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.net import codec
+from repro.net.cluster import (
+    GO_LEAD_S,
+    READY_TIMEOUT_S,
+    CoordinatorHost,
+    free_port,
+    spawn_children,
+    with_addresses,
+)
+from repro.net.server import ProcessRuntime
+from repro.net.topology import (
+    ClusterSpec,
+    build_deployment,
+    plan_cluster_nodes,
+    stream_of,
+)
+from repro.sim.kernel import ms
+from repro.gateway.client import (
+    ClientPlan,
+    build_clients,
+    exactly_once_violations,
+    fleet_summary,
+)
+from repro.gateway.server import GatewayConfig, GatewayServer
+from repro.tools.verify_determinism import verify_trace_equivalence
+
+#: Extra wall seconds between the GO epoch and the first client send,
+#: so every engine is ticking before load arrives.
+CLIENT_LEAD_S = 0.25
+
+#: Simulated drain margin appended after the last replayed stamp.
+_REPLAY_DRAIN_TICKS = ms(2000)
+
+
+def gateway_payload_factory(n_devices: int = 8, n_fields: int = 4):
+    """Client payloads for the pipeline app: readings *without* birth.
+
+    The gateway's ingress stamp supplies ``birth = vt`` at admission —
+    a client cannot know its own admission time, and letting it claim
+    one would corrupt the latency metric.
+    """
+
+    def factory(rng, index: int) -> Dict:
+        return {
+            "device": f"dev{rng.randrange(n_devices)}",
+            "fields": [rng.randrange(100) for _ in range(n_fields)],
+        }
+
+    return factory
+
+
+def replay_reference(spec: ClusterSpec,
+                     shadow: Dict[str, List[Tuple[int, int, Any]]]
+                     ) -> Dict[str, List[Tuple]]:
+    """Re-simulate the shadow log; return the reference output streams.
+
+    Offers each recorded stamped payload at its recorded virtual time in
+    a fresh deployment of the same spec.  At tick ``vt`` the ingress
+    assigns ``max(now, last_vt + 1) = vt`` (stamps are strictly
+    increasing per wire), so the replayed ingress log — sequence
+    numbers, virtual times, payload bytes — is identical to the live
+    one, and the consumer streams are the ground truth the networked
+    run must have produced.
+    """
+    dep = build_deployment(spec)
+    last_vt = 0
+    for input_id, entries in shadow.items():
+        ingress = dep.ingresses[input_id]
+        for _seq, vt, payload in entries:
+            dep.sim.at(
+                vt,
+                lambda ing=ingress, p=payload: ing.offer(p),
+                label=f"replay:{input_id}",
+            )
+            last_vt = max(last_vt, vt)
+    dep.run(until=last_vt + _REPLAY_DRAIN_TICKS)
+    return {sink: stream_of(consumer)
+            for sink, consumer in dep.consumers.items()}
+
+
+async def run_gateway_cluster(
+    spec: ClusterSpec,
+    plan: ClientPlan,
+    kill_engine: Optional[str] = None,
+    kill_fraction: float = 0.4,
+    deadline_s: float = 120.0,
+    chaos=None,
+    payload_factory=None,
+) -> Dict:
+    """One live gateway run; returns streams, reference, and diagnostics.
+
+    ``spec`` must carry addresses and a gateway config (see
+    :func:`~repro.net.cluster.with_addresses`).  With ``kill_engine``
+    set, that engine's process is SIGKILLed once ``kill_fraction`` of
+    the planned submissions have been admitted.  ``chaos`` is an
+    optional :class:`~repro.chaos.runner.ChaosDriver` whose proxy has
+    been planned to front the gateway (see :func:`gateway_front`).
+    """
+    started = time.monotonic()
+    runtime = ProcessRuntime("coordinator", spec)
+    listen_host, listen_port = spec.listen_addr("coordinator")
+    server = await asyncio.start_server(
+        runtime._handle_conn, listen_host, listen_port
+    )
+    if chaos is not None:
+        await chaos.start()
+    host = CoordinatorHost(spec, runtime)
+    for consumer in host.consumers.values():
+        consumer.birth_of = _birth_of
+    gateway = GatewayServer(
+        "gateway",
+        ingresses=dict(host.deployment.ingresses),
+        inject=runtime.rtk.inject,
+        metrics=host.deployment.metrics,
+        config=GatewayConfig.from_spec(spec),
+        congested=runtime.transport.congested,
+    )
+    await gateway.start()
+
+    spec_file = tempfile.NamedTemporaryFile(
+        "w", suffix=".json", prefix="gateway-spec-", delete=False
+    )
+    spec_path = Path(spec_file.name)
+    with spec_file:
+        spec_file.write(spec.to_json())
+
+    children = spawn_children(spec, spec_path)
+    if chaos is not None:
+        chaos.attach(children)
+    result: Dict = {"killed": None, "complete": False, "error": None}
+    loop = asyncio.get_running_loop()
+    pump: Optional[asyncio.Task] = None
+    client_stats: List = []
+    reference: Dict[str, List[Tuple]] = {}
+    try:
+        for child in children.values():
+            ok = await loop.run_in_executor(
+                None, child.ready.wait, READY_TIMEOUT_S
+            )
+            if not ok:
+                raise RuntimeError(
+                    f"child {child.name} not READY within "
+                    f"{READY_TIMEOUT_S}s (rc={child.proc.poll()})"
+                )
+
+        t0 = time.time() + GO_LEAD_S
+        for name in children:
+            runtime.transport.channel_to(f"proc:{name}").enqueue(
+                runtime.peer_id, codec.GoSignal(t0=t0, speed=spec.speed)
+            )
+        runtime.clock.set_epoch(t0)
+        if chaos is not None:
+            chaos.on_go(t0)
+        host.start()
+        pump = loop.create_task(runtime.rtk.run(), name="pump:coordinator")
+
+        factory = payload_factory or gateway_payload_factory()
+        clients = build_clients(plan, spec.gateway_addr(), factory)
+        client_t0 = time.monotonic() + (t0 - time.time()) + CLIENT_LEAD_S
+        client_tasks = [
+            loop.create_task(c.run(client_t0), name=f"client:{c.client_id}")
+            for c in clients
+        ]
+        fleet = asyncio.gather(*client_tasks, return_exceptions=True)
+
+        kill_at = max(1, int(plan.total_messages * kill_fraction))
+        deadline = time.monotonic() + deadline_s
+        while not fleet.done():
+            if pump.done():
+                pump.result()  # surfaces TransportError etc.
+                raise RuntimeError("coordinator pump exited early")
+            if (kill_engine is not None and result["killed"] is None
+                    and gateway.accepted() >= kill_at):
+                children[f"engine-{kill_engine}"].kill()
+                result["killed"] = {
+                    "engine": kill_engine,
+                    "at_accepted": gateway.accepted(),
+                    "at_s": round(time.monotonic() - started, 3),
+                }
+            if time.monotonic() >= deadline:
+                fleet.cancel()
+                raise RuntimeError(
+                    f"clients still running at the {deadline_s}s deadline"
+                )
+            await asyncio.sleep(0.05)
+        for outcome in fleet.result():
+            if isinstance(outcome, BaseException):
+                raise outcome
+            client_stats.append(outcome)
+
+        # Freeze the admitted-work record and replay it (CPU-bound, in
+        # a worker thread) while the live consumers finish draining.
+        shadow = {input_id: list(entries)
+                  for input_id, entries in gateway.shadow.items()}
+        reference = await loop.run_in_executor(
+            None, replay_reference, spec, shadow
+        )
+        ref_counts = {sink: len(s) for sink, s in reference.items()}
+        while time.monotonic() < deadline:
+            if pump.done():
+                pump.result()
+                raise RuntimeError("coordinator pump exited early")
+            if host.counts() == ref_counts:
+                result["complete"] = True
+                break
+            await asyncio.sleep(0.05)
+        else:
+            raise RuntimeError(
+                f"consumers at {host.counts()} of {ref_counts} at the "
+                f"{deadline_s}s deadline"
+            )
+    except Exception as exc:  # noqa: BLE001 - reported in the result
+        result["error"] = f"{type(exc).__name__}: {exc}"
+    finally:
+        for name, child in children.items():
+            if child.proc.poll() is None:
+                try:
+                    runtime.transport.channel_to(f"proc:{name}").enqueue(
+                        runtime.peer_id, codec.Shutdown("run complete")
+                    )
+                except Exception:  # noqa: BLE001 - best-effort shutdown
+                    pass
+        await asyncio.sleep(0.3)
+        if pump is not None:
+            runtime.rtk.stop()
+            try:
+                await pump
+            except Exception as exc:  # noqa: BLE001
+                if result["error"] is None:
+                    result["error"] = f"{type(exc).__name__}: {exc}"
+        epoch_resets = sum(
+            ch.epoch_resets for ch in runtime.transport._channels.values()
+        )
+        await gateway.close()
+        if chaos is not None:
+            await chaos.close()
+        await runtime.transport.close()
+        server.close()
+        await server.wait_closed()
+        exit_codes = {name: child.reap() for name, child in children.items()}
+        try:
+            spec_path.unlink()
+        except OSError:
+            pass
+
+    metrics = host.deployment.metrics
+    samples = metrics.latency_count()
+    result.update(
+        counts=host.counts(),
+        streams=host.streams(),
+        reference=reference,
+        stutter=host.stutter(),
+        elapsed_s=round(time.monotonic() - started, 3),
+        child_exit_codes=exit_codes,
+        epoch_resets=epoch_resets,
+        gateway=gateway.report(),
+        clients=fleet_summary(client_stats),
+        exactly_once_violations=exactly_once_violations(
+            client_stats, gateway.shadow
+        ),
+        latency={
+            "samples": samples,
+            "p50_us": _pct(metrics, 50.0, samples),
+            "p99_us": _pct(metrics, 99.0, samples),
+            "p999_us": _pct(metrics, 99.9, samples),
+        },
+    )
+    if chaos is not None:
+        result["chaos"] = chaos.report()
+    return result
+
+
+def _birth_of(payload: Any) -> Optional[int]:
+    if isinstance(payload, dict):
+        return payload.get("birth")
+    return None
+
+
+def _pct(metrics, q: float, samples: int) -> Optional[float]:
+    if samples == 0:
+        return None
+    return round(metrics.latency_percentile_us(q), 3)
+
+
+def gateway_front(spec: ClusterSpec):
+    """Front the gateway's dial address with a fault proxy.
+
+    Returns ``(run_spec, proxy)``: a deep copy of ``spec`` whose
+    ``gateway.host/port`` is a proxy front while the gateway itself
+    binds its real address via ``gateway.listen``; the proxy forwards
+    and applies the ``("clients", "gateway")`` link policy.  Engine and
+    replica links stay direct — gateway chaos scenarios fault the edge,
+    not the interior (``repro.chaos`` covers the interior).
+    """
+    from repro.chaos.proxy import FaultProxy
+
+    run_spec = ClusterSpec.from_json(spec.to_json())
+    real = run_spec.gateway_addr()
+    front = ("127.0.0.1", free_port())
+    proxy = FaultProxy()
+    proxy.plan("gateway", real, front)
+    run_spec.gateway["listen"] = real
+    run_spec.gateway["host"], run_spec.gateway["port"] = front
+    return run_spec, proxy
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def build_gateway_spec(args: argparse.Namespace,
+                       plan: ClientPlan) -> ClusterSpec:
+    span_ms = max(400.0, plan.duration_s() * 1000.0)
+    return ClusterSpec(
+        app="pipeline",
+        app_args={"window": args.window},
+        engines=[f"e{i}" for i in range(args.engines)],
+        replicas=args.replicas,
+        master_seed=args.seed,
+        # One tick per nanosecond: latency percentiles in real us.
+        speed=1.0,
+        checkpoint_interval_ms=args.checkpoint_ms,
+        heartbeat_interval_ms=args.heartbeat_ms,
+        heartbeat_miss_limit=args.heartbeat_miss,
+        workload={},
+        gateway={
+            "max_inflight_msgs": args.max_inflight,
+            "max_inflight_bytes": args.max_inflight_bytes,
+            "rate_msgs_per_s": args.client_rate,
+            "rate_burst": args.client_burst,
+            "retry_ms": args.retry_ms,
+            "span_ms": span_ms,
+        },
+    )
+
+
+def run_trial(label: str, spec: ClusterSpec, plan: ClientPlan,
+              kill_engine: Optional[str], kill_fraction: float,
+              deadline_s: float,
+              chaos_seed: Optional[int] = None) -> Dict:
+    """One addressed live run + verification; returns the trial report."""
+
+    async def _run() -> Dict:
+        run_spec = with_addresses(spec)
+        chaos = None
+        if chaos_seed is not None:
+            from repro.chaos.runner import ChaosDriver
+            from repro.chaos.schedule import generate_schedule
+
+            run_spec2, proxy = gateway_front(run_spec)
+            schedule = generate_schedule(
+                chaos_seed, run_spec2, scenario="gateway_client_reset"
+            )
+            chaos = ChaosDriver(schedule, proxy, run_spec2)
+            return await run_gateway_cluster(
+                run_spec2, plan, kill_engine=kill_engine,
+                kill_fraction=kill_fraction, deadline_s=deadline_s,
+                chaos=chaos,
+            )
+        return await run_gateway_cluster(
+            run_spec, plan, kill_engine=kill_engine,
+            kill_fraction=kill_fraction, deadline_s=deadline_s,
+        )
+
+    result = asyncio.run(_run())
+    verdict = verify_trace_equivalence(
+        result.pop("reference"), result.pop("streams"), trial=label,
+        require_complete=True,
+    )
+    result["deterministic"] = verdict.deterministic
+    if not verdict.deterministic:
+        result["divergence"] = verdict.summary()
+    ok = (verdict.deterministic
+          and result["complete"]
+          and result["error"] is None
+          and result["exactly_once_violations"] == 0
+          and result["clients"]["unresolved"] == 0)
+    if kill_engine is not None:
+        # Failover transparency: the engine died, yet no client socket
+        # so much as blinked.
+        ok = ok and result["killed"] is not None
+        ok = ok and result["clients"]["reconnects"] == 0
+    result["ok"] = ok
+    return result
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.gateway.cluster",
+        description="Drive a real cluster through the public ingress "
+                    "gateway with open-loop TCP clients and verify the "
+                    "output against a pure-sim replay of the gateway's "
+                    "admission log.",
+    )
+    parser.add_argument("--engines", type=int, default=2)
+    parser.add_argument("--replicas", type=int, default=1, choices=(0, 1))
+    parser.add_argument("--messages", type=int, default=240,
+                        help="total submissions across all clients")
+    parser.add_argument("--clients", type=int, default=16)
+    parser.add_argument("--rate", type=float, default=400.0,
+                        help="aggregate open-loop offered rate in "
+                             "msgs/sec (<= 0: synchronized burst)")
+    parser.add_argument("--window", type=int, default=10)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--checkpoint-ms", type=float, default=25.0)
+    parser.add_argument("--heartbeat-ms", type=float, default=10.0)
+    parser.add_argument("--heartbeat-miss", type=int, default=3)
+    parser.add_argument("--kill-active", action="store_true",
+                        help="SIGKILL an engine mid-stream; clients "
+                             "must not notice (zero reconnects) and the "
+                             "output must stay byte-identical")
+    parser.add_argument("--kill-engine", default=None)
+    parser.add_argument("--kill-fraction", type=float, default=0.4)
+    parser.add_argument("--client-reset", type=int, default=None,
+                        metavar="SEED",
+                        help="run the seeded gateway_client_reset chaos "
+                             "scenario: client connections are hard-"
+                             "closed mid-burst through the fault proxy")
+    parser.add_argument("--max-inflight", type=int, default=1024,
+                        help="admission cap on in-flight messages")
+    parser.add_argument("--max-inflight-bytes", type=int,
+                        default=8 * 1024 * 1024)
+    parser.add_argument("--client-rate", type=float, default=2000.0,
+                        help="per-client token bucket refill (msgs/sec)")
+    parser.add_argument("--client-burst", type=float, default=200.0)
+    parser.add_argument("--retry-ms", type=float, default=50.0)
+    parser.add_argument("--skip-clean", action="store_true")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-trial wall-clock deadline in seconds")
+    parser.add_argument("--json", action="store_true", dest="as_json")
+    args = parser.parse_args(argv)
+
+    if args.kill_active and args.replicas < 1:
+        parser.error("--kill-active requires --replicas >= 1")
+    kill_engine = None
+    if args.kill_active:
+        kill_engine = args.kill_engine or "e0"
+        if kill_engine not in [f"e{i}" for i in range(args.engines)]:
+            parser.error(f"unknown --kill-engine {kill_engine!r}")
+
+    plan = ClientPlan(
+        n_clients=args.clients,
+        total_messages=args.messages,
+        rate_msgs_per_s=args.rate,
+        seed=args.seed,
+    )
+    spec = build_gateway_spec(args, plan)
+    deadline_s = args.timeout or max(60.0, 6.0 * plan.duration_s() + 30.0)
+
+    trials: List[Tuple[str, Optional[str], Optional[int]]] = []
+    if not args.skip_clean:
+        trials.append(("gateway-clean", None, None))
+    if kill_engine is not None:
+        trials.append((f"gateway-kill-{kill_engine}", kill_engine, None))
+    if args.client_reset is not None:
+        trials.append((f"gateway-reset-{args.client_reset}", None,
+                       args.client_reset))
+    if not trials:
+        trials.append(("gateway-clean", None, None))
+
+    report: Dict = {"plan": {
+        "clients": plan.n_clients,
+        "messages": plan.total_messages,
+        "rate_msgs_per_s": plan.rate_msgs_per_s,
+    }, "trials": {}}
+    failed = False
+    for label, victim, chaos_seed in trials:
+        print(f"{label}: launching "
+              f"{len(plan_cluster_nodes(spec)) - 1} child process(es), "
+              f"{plan.n_clients} client(s), {plan.total_messages} "
+              f"submission(s) ...", file=sys.stderr, flush=True)
+        result = run_trial(label, spec, plan, victim, args.kill_fraction,
+                           deadline_s, chaos_seed=chaos_seed)
+        failed = failed or not result["ok"]
+        report["trials"][label] = result
+        status = "OK" if result["ok"] else "FAIL"
+        lat = result["latency"]
+        gw = result["gateway"]
+        print(f"{label}: {status} — {sum(result['counts'].values())} "
+              f"outputs in {result['elapsed_s']}s; accepted="
+              f"{gw['accepted']} shed={gw['shed']} rate_limited="
+              f"{gw['rate_limited']} dup={gw['duplicates']}; "
+              f"p50={lat['p50_us']}us p99={lat['p99_us']}us "
+              f"p999={lat['p999_us']}us; stutter={result['stutter']}, "
+              f"reconnects={result['clients']['reconnects']}, "
+              f"violations={result['exactly_once_violations']}"
+              + (f"; killed {result['killed']['engine']} after "
+                 f"{result['killed']['at_accepted']} admissions"
+                 if result["killed"] else ""),
+              file=sys.stderr, flush=True)
+        if result["error"]:
+            print(f"{label}: error: {result['error']}",
+                  file=sys.stderr, flush=True)
+        if "divergence" in result:
+            print(result["divergence"], file=sys.stderr, flush=True)
+
+    if args.as_json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    print("gateway: " + ("all trials byte-identical to the replayed "
+                         "reference" if not failed else "FAILED"),
+          file=sys.stderr, flush=True)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -176,6 +176,9 @@ def with_addresses(spec: ClusterSpec) -> ClusterSpec:
     ports = {name: ("127.0.0.1", free_port())
              for name in plan_cluster_nodes(run_spec)}
     assign_addresses(run_spec, ports)
+    if run_spec.gateway_enabled() and run_spec.gateway.get("port") is None:
+        run_spec.gateway.setdefault("host", "127.0.0.1")
+        run_spec.gateway["port"] = free_port()
     return run_spec
 
 
@@ -428,9 +431,49 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "seeded chaos schedule SEED against this "
                              "cluster (python -m repro.chaos with the "
                              "same workload knobs)")
+    parser.add_argument("--gateway", action="store_true",
+                        help="feed the cluster through the public TCP "
+                             "ingress gateway instead of in-process "
+                             "producers (python -m repro.gateway.cluster "
+                             "with the same knobs); external clients "
+                             "submit over the wire and the output is "
+                             "verified against a pure-sim replay of the "
+                             "gateway's admission log")
+    parser.add_argument("--clients", type=int, default=16,
+                        help="gateway mode: number of concurrent "
+                             "external clients")
+    parser.add_argument("--rate", type=float, default=400.0,
+                        help="gateway mode: aggregate open-loop offered "
+                             "rate in msgs/sec across all clients")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="machine-readable report on stdout")
     args = parser.parse_args(argv)
+
+    if args.gateway:
+        from repro.gateway.cluster import main as gateway_main
+
+        gateway_argv = [
+            "--engines", str(args.engines),
+            "--replicas", str(args.replicas),
+            "--messages", str(args.messages),
+            "--clients", str(args.clients),
+            "--rate", str(args.rate),
+            "--window", str(args.window),
+            "--seed", str(args.seed),
+            "--checkpoint-ms", str(args.checkpoint_ms),
+            "--heartbeat-ms", str(args.heartbeat_ms),
+            "--heartbeat-miss", str(args.heartbeat_miss),
+        ]
+        if args.kill_active:
+            gateway_argv.append("--kill-active")
+            if args.kill_engine:
+                gateway_argv += ["--kill-engine", args.kill_engine]
+            gateway_argv += ["--kill-fraction", str(args.kill_fraction)]
+        if args.timeout is not None:
+            gateway_argv += ["--timeout", str(args.timeout)]
+        if args.as_json:
+            gateway_argv.append("--json")
+        return gateway_main(gateway_argv)
 
     if args.chaos is not None:
         from repro.chaos.__main__ import main as chaos_main

@@ -24,6 +24,17 @@ Frame tags (handshake and transport control):
 ``FRAME_ERROR``       7    structured reject: ``{"error", "proto"}``
 ====================  ===  =================================================
 
+Gateway frame tags (the public client protocol of ``repro.gateway``;
+same framing, same version byte, disjoint tag block):
+
+====================  ===  =================================================
+``FRAME_GW_HELLO``    8    client opens: ``{"client", "proto"}``
+``FRAME_GW_WELCOME``  9    gateway accepts: ``{"gateway", "inputs"}``
+``FRAME_GW_SUBMIT``   10   one submission: ``{"req", "input", "payload"}``
+``FRAME_GW_ACCEPT``   11   stamped + logged: ``{"req", "seq", "vt"}``
+``FRAME_GW_BUSY``     12   shed/ratelimited: ``{"req", "reason", "retry_ms"}``
+====================  ===  =================================================
+
 Message type tags (the ``"k"`` of an ITEM's ``"msg"`` dict) are assigned
 from :data:`repro.core.message.WIRE_MESSAGE_TYPES` plus the transport
 types defined here; see :data:`MESSAGE_TAGS`.  Tags are permanent: new
@@ -78,9 +89,18 @@ FRAME_ITEM = 4
 FRAME_ACK = 5
 FRAME_BATCH = 6
 FRAME_ERROR = 7
+# Gateway client protocol (public ingress plane).  Tags are permanent:
+# new frames append, existing tags are never renumbered.
+FRAME_GW_HELLO = 8
+FRAME_GW_WELCOME = 9
+FRAME_GW_SUBMIT = 10
+FRAME_GW_ACCEPT = 11
+FRAME_GW_BUSY = 12
 
 _FRAME_TAGS = {FRAME_HELLO, FRAME_WELCOME, FRAME_NOT_HERE,
-               FRAME_ITEM, FRAME_ACK, FRAME_BATCH, FRAME_ERROR}
+               FRAME_ITEM, FRAME_ACK, FRAME_BATCH, FRAME_ERROR,
+               FRAME_GW_HELLO, FRAME_GW_WELCOME, FRAME_GW_SUBMIT,
+               FRAME_GW_ACCEPT, FRAME_GW_BUSY}
 
 
 class CodecError(TransportError):
@@ -258,6 +278,43 @@ def encode_error(error: str) -> bytes:
                                       "proto": WIRE_VERSION})
 
 
+def encode_gw_hello(client_id: str, proto: int = WIRE_VERSION) -> bytes:
+    """A client opens its gateway session.  ``client_id`` is
+    ``<group>:<n>`` (e.g. ``clients:17``); the group prefix is what the
+    chaos fault proxy classifies client links by."""
+    return encode_frame(FRAME_GW_HELLO, {"client": client_id,
+                                         "proto": proto})
+
+
+def encode_gw_welcome(gateway_id: str, inputs) -> bytes:
+    """The gateway accepts a session and advertises its input ids."""
+    return encode_frame(FRAME_GW_WELCOME, {"gateway": gateway_id,
+                                           "inputs": sorted(inputs)})
+
+
+def encode_gw_submit(req: int, input_id: str, payload: Any) -> bytes:
+    """One client submission.  ``req`` is a per-client monotonically
+    increasing request id — the gateway's dedup key, so a retransmit
+    after a reconnect can never be stamped twice."""
+    return encode_frame(FRAME_GW_SUBMIT, {"req": req, "input": input_id,
+                                          "payload": payload})
+
+
+def encode_gw_accept(req: int, seq: int, vt: int) -> bytes:
+    """The submission was stamped and logged: its ingress sequence
+    number and assigned virtual time (also the payload's ``birth``)."""
+    return encode_frame(FRAME_GW_ACCEPT, {"req": req, "seq": seq,
+                                          "vt": vt})
+
+
+def encode_gw_busy(req: int, reason: str, retry_ms: float) -> bytes:
+    """Structured load-shed reject: ``reason`` is ``"rate"`` (per-client
+    token bucket empty) or ``"shed"`` (global admission limit reached);
+    ``retry_ms`` is the gateway's backoff hint."""
+    return encode_frame(FRAME_GW_BUSY, {"req": req, "reason": reason,
+                                        "retry_ms": float(retry_ms)})
+
+
 def item_body(seq: int, src: str, dst: str, msg: Any) -> Dict[str, Any]:
     """The body dict of one ITEM — also the element type of a BATCH."""
     return {"seq": seq, "src": src, "dst": dst, "msg": encode_message(msg)}
@@ -367,16 +424,15 @@ class FrameSplitter:
             )
 
 
-async def read_frame(reader) -> Optional[Tuple[int, Dict[str, Any]]]:
-    """Read one frame from an asyncio stream.
+async def read_frame_sized(reader
+                           ) -> Optional[Tuple[int, Dict[str, Any], int]]:
+    """Like :func:`read_frame`, but also report the frame's wire size.
 
-    Returns ``None`` only on a *clean* EOF, i.e. the connection closed
-    exactly on a frame boundary.  A connection that dies after part of a
-    frame was read — mid-header, or mid-payload after a full header —
-    raises :class:`~repro.errors.TransportError`: a torn frame is a
-    connection reset, never an orderly close, and callers must count it
-    as one (the sender's unacked tail will be retransmitted after the
-    reconnect).
+    Returns ``(frame_tag, body, total_bytes)`` where ``total_bytes``
+    includes the length prefix — the number the gateway's admission
+    controller charges a submission for, so in-flight byte accounting
+    matches what actually crossed the socket rather than a re-encode.
+    Same truncation semantics as :func:`read_frame`.
     """
     import asyncio
 
@@ -405,4 +461,23 @@ async def read_frame(reader) -> Optional[Tuple[int, Dict[str, Any]]]:
         raise TransportError(
             f"connection reset mid-frame awaiting {length} payload bytes"
         ) from exc
-    return decode_frame_payload(payload)
+    frame_tag, body = decode_frame_payload(payload)
+    return frame_tag, body, _LEN.size + length
+
+
+async def read_frame(reader) -> Optional[Tuple[int, Dict[str, Any]]]:
+    """Read one frame from an asyncio stream.
+
+    Returns ``None`` only on a *clean* EOF, i.e. the connection closed
+    exactly on a frame boundary.  A connection that dies after part of a
+    frame was read — mid-header, or mid-payload after a full header —
+    raises :class:`~repro.errors.TransportError`: a torn frame is a
+    connection reset, never an orderly close, and callers must count it
+    as one (the sender's unacked tail will be retransmitted after the
+    reconnect).
+    """
+    frame = await read_frame_sized(reader)
+    if frame is None:
+        return None
+    frame_tag, body, _nbytes = frame
+    return frame_tag, body

@@ -72,6 +72,18 @@ class ClusterSpec:
     #: batching — every item rides its own ITEM frame, the pre-batching
     #: wire behaviour the benchmark baseline measures).
     batch_max_items: int = 64
+    #: Public ingress gateway config; empty dict disables the gateway.
+    #: Keys (all optional except ``host``/``port``, which
+    #: ``repro.net.cluster.with_addresses`` fills in): ``host``/``port``
+    #: — the address clients *dial*; ``listen`` — ``[host, port]`` bind
+    #: override (the chaos proxy fronts the dial address while the
+    #: gateway binds its real port, mirroring ``listen`` above);
+    #: ``max_inflight_msgs`` / ``max_inflight_bytes`` — global admission
+    #: limits; ``rate_msgs_per_s`` / ``rate_burst`` — per-client token
+    #: bucket; ``retry_ms`` — backoff hint carried by BUSY rejects;
+    #: ``span_ms`` — nominal client-burst span used by seeded gateway
+    #: chaos scenarios on workload-free specs.
+    gateway: Dict = field(default_factory=dict)
     #: Recovery-time objective in simulated milliseconds; when set, each
     #: engine runs the adaptive cadence controller with this replay
     #: budget instead of a fixed checkpoint interval.
@@ -101,6 +113,11 @@ class ClusterSpec:
             process: (host, int(port))
             for process, (host, port) in spec.listen.items()
         }
+        if spec.gateway.get("port") is not None:
+            spec.gateway["port"] = int(spec.gateway["port"])
+        if spec.gateway.get("listen") is not None:
+            host, port = spec.gateway["listen"]
+            spec.gateway["listen"] = (host, int(port))
         return spec
 
     # -- derived --------------------------------------------------------
@@ -113,6 +130,26 @@ class ClusterSpec:
         if override is not None:
             return tuple(override)
         return self.addresses[f"proc:{process}"][0]
+
+    def gateway_enabled(self) -> bool:
+        """Whether this spec runs a public ingress gateway."""
+        return bool(self.gateway)
+
+    def gateway_addr(self) -> Tuple[str, int]:
+        """The address gateway clients dial (may be a chaos proxy front)."""
+        if not self.gateway or self.gateway.get("port") is None:
+            raise WiringError("spec has no gateway address assigned "
+                              "(see repro.net.cluster.with_addresses)")
+        return (self.gateway.get("host", "127.0.0.1"),
+                int(self.gateway["port"]))
+
+    def gateway_listen_addr(self) -> Tuple[str, int]:
+        """The address the gateway binds (the dial address unless the
+        chaos proxy fronted it via ``gateway["listen"]``)."""
+        override = self.gateway.get("listen")
+        if override is not None:
+            return (override[0], int(override[1]))
+        return self.gateway_addr()
 
     def engine_config(self) -> EngineConfig:
         if self.replicas <= 0:

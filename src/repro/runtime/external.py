@@ -43,7 +43,8 @@ class ExternalIngress:
         self.dst_engine_id = dst_engine_id
         self.log = ExternalMessageLog(spec.wire_id, log_latency)
 
-    def offer(self, payload: Any) -> int:
+    def offer(self, payload: Any,
+              stamp: Optional[Callable[[int, Any], Any]] = None) -> int:
         """Timestamp, log, and deliver one external message.
 
         The virtual time is the real arrival time — safe because the
@@ -52,8 +53,17 @@ class ExternalIngress:
         one data tick); the bump is a deterministic function of the
         arrival sequence, so replay reproduces it from the log.
         Returns the assigned sequence number.
+
+        ``stamp`` optionally rewrites the payload as a function of the
+        assigned virtual time *before* it is logged (the gateway embeds
+        ``birth = vt`` so latency is measured from the admission stamp).
+        Because stamping happens pre-log, replaying the log re-delivers
+        the already-stamped payload byte-identically — a re-delivery can
+        never be stamped twice.
         """
         vt = max(self.sim.now, self.log.last_vt() + 1)
+        if stamp is not None:
+            payload = stamp(vt, payload)
         seq = self.log.append(vt, payload)
         self._deliver(DataMessage(self.spec.wire_id, seq, vt, payload))
         return seq

@@ -252,3 +252,38 @@ def test_proxied_spec_rewrites_dial_addresses_only():
         ]
         assert all(tuple(a) in fronts
                    for a in run_spec.addresses[engine])
+
+
+def test_gw_hello_classifies_client_group():
+    """Gateway client connections are sniffed by their GW_HELLO: the
+    client id's group prefix names the source side of the link, so one
+    proxy policy covers the whole fleet."""
+    gw_hello = codec.encode_gw_hello("clients:5")
+
+    async def scenario():
+        server, port = await start_echo()
+        proxy = await proxy_for(port)
+        reader, writer = await asyncio.open_connection(
+            *proxy.fronts["echo"])
+        writer.write(gw_hello)
+        await writer.drain()
+        echoed = await read_exactly(reader, len(gw_hello))
+        proxy.reset("clients", "echo")
+        dead = False
+        try:
+            data = await asyncio.wait_for(reader.read(1), timeout=2.0)
+            dead = data == b""
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            dead = True
+        writer.close()
+        await proxy.close()
+        server.close()
+        return echoed, dead, dict(proxy.counters), proxy.report()
+
+    echoed, dead, counters, report = asyncio.run(scenario())
+    assert echoed == gw_hello
+    # "clients:5" classified the link source as the "clients" group.
+    assert any(key[:2] == ("clients", "echo") for key in counters)
+    # ... so a reset aimed at the group killed this connection.
+    assert dead
+    assert report["clients->echo"]["resets"] == 1

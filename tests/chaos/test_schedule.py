@@ -210,3 +210,48 @@ class TestCorruptScenario:
         reference = reference_run(spec)
         observed = simulate_with_schedule(spec, schedule)
         assert observed == reference
+
+
+class TestGatewayClientReset:
+    """The gateway's client-reset scenario (extra rotation, opt-in)."""
+
+    def gateway_spec(self, **gateway):
+        params = {"span_ms": 500.0}
+        params.update(gateway)
+        return spec_for_tests(workload={}, gateway=params)
+
+    def test_same_seed_same_schedule(self):
+        spec = self.gateway_spec()
+        a = generate_schedule(3, spec, "gateway_client_reset")
+        b = generate_schedule(3, spec, "gateway_client_reset")
+        assert a.to_json() == b.to_json()
+
+    def test_resets_the_clients_gateway_link_mid_burst(self):
+        spec = self.gateway_spec()
+        schedule = generate_schedule(3, spec, "gateway_client_reset")
+        (event,) = schedule.events
+        assert event.kind == "reset"
+        assert event.link == ("clients", "gateway")
+        # Mid-burst: inside 35..65% of the planned client span.
+        assert 0.35 * 500.0 <= event.at_ms <= 0.65 * 500.0
+
+    def test_span_falls_back_when_gateway_span_missing(self):
+        spec = self.gateway_spec()
+        del spec.gateway["span_ms"]
+        (event,) = generate_schedule(
+            3, spec, "gateway_client_reset").events
+        assert 0.35 * 400.0 <= event.at_ms <= 0.65 * 400.0
+
+    def test_not_in_seed_rotation(self):
+        # Opt-in only: historical seeds must keep their scenarios.
+        spec = self.gateway_spec()
+        for seed in range(len(SCENARIOS)):
+            assert generate_schedule(seed, spec).scenario \
+                != "gateway_client_reset"
+
+    def test_reset_is_non_lethal_and_survivable(self):
+        spec = self.gateway_spec()
+        schedule = generate_schedule(3, spec, "gateway_client_reset")
+        assert schedule.lost_state(spec) is None
+        # No sim analogue: client resets never reach the simulator.
+        assert schedule.sim_events(spec) == []

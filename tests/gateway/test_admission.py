@@ -1,0 +1,95 @@
+"""Token bucket and admission controller units (injected time)."""
+
+import pytest
+
+from repro.gateway.admission import AdmissionController, TokenBucket
+
+
+class TestTokenBucket:
+    def test_starts_full_and_drains(self):
+        bucket = TokenBucket(rate=10.0, burst=3.0, now_s=0.0)
+        assert bucket.allow(now_s=0.0)
+        assert bucket.allow(now_s=0.0)
+        assert bucket.allow(now_s=0.0)
+        assert not bucket.allow(now_s=0.0)
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate=10.0, burst=3.0, now_s=0.0)
+        for _ in range(3):
+            assert bucket.allow(now_s=0.0)
+        assert not bucket.allow(now_s=0.0)
+        # 0.1 s at 10 tokens/s refills exactly one token.
+        assert bucket.allow(now_s=0.1)
+        assert not bucket.allow(now_s=0.1)
+
+    def test_refill_caps_at_burst(self):
+        bucket = TokenBucket(rate=100.0, burst=2.0, now_s=0.0)
+        bucket.allow(now_s=0.0)
+        # A long idle period must not bank more than the burst.
+        assert bucket.allow(now_s=100.0)
+        assert bucket.allow(now_s=100.0)
+        assert not bucket.allow(now_s=100.0)
+
+    def test_nonpositive_rate_disables(self):
+        bucket = TokenBucket(rate=0.0, burst=0.0, now_s=0.0)
+        assert all(bucket.allow(now_s=0.0) for _ in range(1000))
+
+    def test_time_going_backwards_is_harmless(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0, now_s=5.0)
+        assert bucket.allow(now_s=4.0)  # no negative refill
+        assert bucket.allow(now_s=4.0)
+        assert not bucket.allow(now_s=4.0)
+
+    def test_tokens_property_tracks(self):
+        bucket = TokenBucket(rate=1.0, burst=5.0, now_s=0.0)
+        bucket.allow(n=2.0, now_s=0.0)
+        assert bucket.tokens == pytest.approx(3.0)
+
+
+class TestAdmissionController:
+    def test_message_cap(self):
+        adm = AdmissionController(max_inflight_msgs=2,
+                                  max_inflight_bytes=10**9)
+        assert adm.admit(10)
+        assert adm.admit(10)
+        assert not adm.admit(10)
+        adm.release(10)
+        assert adm.admit(10)
+        assert adm.admitted == 3
+        assert adm.refused == 1
+
+    def test_byte_cap(self):
+        adm = AdmissionController(max_inflight_msgs=10**6,
+                                  max_inflight_bytes=100)
+        assert adm.admit(60)
+        assert not adm.admit(60)  # would exceed 100 bytes
+        assert adm.admit(40)
+        assert adm.inflight_bytes == 100
+
+    def test_refusal_charges_nothing(self):
+        adm = AdmissionController(max_inflight_msgs=1,
+                                  max_inflight_bytes=100)
+        assert adm.admit(50)
+        assert not adm.admit(50)
+        assert adm.inflight_msgs == 1
+        assert adm.inflight_bytes == 50
+
+    def test_congestion_backstop(self):
+        congested = [False]
+        adm = AdmissionController(congested=lambda: congested[0])
+        assert adm.admit(1)
+        congested[0] = True
+        assert not adm.admit(1)
+        congested[0] = False
+        assert adm.admit(1)
+
+    def test_nonpositive_caps_disable(self):
+        adm = AdmissionController(max_inflight_msgs=0,
+                                  max_inflight_bytes=0)
+        assert all(adm.admit(10**6) for _ in range(100))
+
+    def test_release_clamps_at_zero(self):
+        adm = AdmissionController()
+        adm.release(100)
+        assert adm.inflight_msgs == 0
+        assert adm.inflight_bytes == 0

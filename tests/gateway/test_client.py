@@ -1,0 +1,89 @@
+"""Client fleet planning: seeded schedules and the exactly-once ledger."""
+
+from repro.gateway.client import (
+    ClientPlan,
+    ClientStats,
+    build_clients,
+    exactly_once_violations,
+    fleet_summary,
+)
+
+
+def payloads(rng, index):
+    return {"device": f"dev{rng.randrange(4)}", "fields": [index]}
+
+
+def make(plan):
+    return build_clients(plan, ("127.0.0.1", 1), payloads)
+
+
+class TestPlanning:
+    def test_messages_split_round_robin(self):
+        plan = ClientPlan(n_clients=3, total_messages=8,
+                          rate_msgs_per_s=100.0)
+        fleet = make(plan)
+        assert [len(c.send_at) for c in fleet] == [3, 3, 2]
+        assert [c.client_id for c in fleet] \
+            == ["clients:0", "clients:1", "clients:2"]
+
+    def test_same_seed_same_schedule(self):
+        plan = ClientPlan(n_clients=4, total_messages=40,
+                          rate_msgs_per_s=200.0, seed=11)
+        a, b = make(plan), make(plan)
+        assert [c.send_at for c in a] == [c.send_at for c in b]
+        assert [c.payload_of(0) for c in a] == [c.payload_of(0) for c in b]
+
+    def test_different_seed_different_schedule(self):
+        base = ClientPlan(n_clients=2, total_messages=20,
+                          rate_msgs_per_s=200.0, seed=1)
+        other = ClientPlan(n_clients=2, total_messages=20,
+                           rate_msgs_per_s=200.0, seed=2)
+        assert [c.send_at for c in make(base)] \
+            != [c.send_at for c in make(other)]
+
+    def test_poisson_arrivals_are_increasing(self):
+        plan = ClientPlan(n_clients=1, total_messages=50,
+                          rate_msgs_per_s=500.0)
+        (client,) = make(plan)
+        assert client.send_at == sorted(client.send_at)
+        assert all(t > 0 for t in client.send_at)
+
+    def test_burst_plan_is_near_immediate(self):
+        plan = ClientPlan(n_clients=5, total_messages=20,
+                          rate_msgs_per_s=0.0)
+        for client in make(plan):
+            assert max(client.send_at) < 0.01
+        assert plan.duration_s() == 0.0
+
+    def test_clients_without_messages_are_dropped(self):
+        plan = ClientPlan(n_clients=10, total_messages=3,
+                          rate_msgs_per_s=10.0)
+        assert len(make(plan)) == 3
+
+
+class TestLedger:
+    def test_fleet_summary_aggregates(self):
+        a = ClientStats("c:0", planned=4, sent=4,
+                        accepted={0: (0, 5), 1: (1, 9)},
+                        busy={"rate": 1, "shed": 1}, reconnects=1)
+        b = ClientStats("c:1", planned=2, sent=2,
+                        accepted={0: (2, 11)}, unresolved=1)
+        summary = fleet_summary([a, b])
+        assert summary == {
+            "planned": 6, "sent": 6, "accepted": 3,
+            "busy_rate": 1, "busy_shed": 1, "unresolved": 1,
+            "reconnects": 1, "connect_errors": 0, "conflicts": 0,
+        }
+
+    def test_violations_from_conflicting_accepts(self):
+        bad = ClientStats("c:0", conflicts=2)
+        assert exactly_once_violations([bad], {"readings": []}) == 2
+
+    def test_violations_from_duplicate_shadow_seqs(self):
+        shadow = {"readings": [(0, 5, {}), (1, 9, {}), (1, 12, {})]}
+        assert exactly_once_violations([], shadow) == 1
+
+    def test_clean_run_has_zero_violations(self):
+        ok = ClientStats("c:0", accepted={0: (0, 5)})
+        shadow = {"readings": [(0, 5, {"birth": 5})]}
+        assert exactly_once_violations([ok], shadow) == 0

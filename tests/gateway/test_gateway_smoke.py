@@ -1,0 +1,46 @@
+"""End-to-end gateway smoke: real clients, real sockets, replay oracle.
+
+Scaled down (small fleets, ~1s of paced real time per run) so tier-1
+stays quick; the CI gateway-smoke job and ``python -m repro.tools.loadgen``
+run the full acceptance sizes.
+"""
+
+import pytest
+
+from repro.gateway.cluster import main
+
+
+def test_gateway_run_matches_replay_reference():
+    assert main([
+        "--messages", "40",
+        "--clients", "6",
+        "--rate", "200",
+        "--seed", "13",
+        "--timeout", "60",
+    ]) == 0
+
+
+def test_kill_active_engine_keeps_clients_connected():
+    assert main([
+        "--messages", "60",
+        "--clients", "8",
+        "--rate", "200",
+        "--seed", "13",
+        "--kill-active",
+        "--skip-clean",
+        "--kill-fraction", "0.4",
+        "--timeout", "90",
+    ]) == 0
+
+
+@pytest.mark.slow
+def test_client_reset_mid_burst_recovers_exactly_once():
+    assert main([
+        "--messages", "48",
+        "--clients", "12",
+        "--rate", "150",
+        "--seed", "13",
+        "--client-reset", "3",
+        "--skip-clean",
+        "--timeout", "90",
+    ]) == 0
