@@ -123,18 +123,51 @@ def reading_factory(n_devices: int = 8, n_fields: int = 4):
     return factory
 
 
+def lane_suffix(lane: int) -> str:
+    """Name suffix for lane ``lane`` (lane 0 keeps the legacy names)."""
+    return "" if lane == 0 else str(lane)
+
+
+def lane_key(name: str) -> str:
+    """Consistent-hash group key: every stage of a lane hashes together.
+
+    Strips the known stage/sink prefixes so ``parser2``, ``enricher2``,
+    ``aggregator2``, ``readings2``, and ``sink2`` all map to ``lane:2``
+    (and the legacy unsuffixed names to ``lane:0``).  Unknown names hash
+    as themselves.
+    """
+    for prefix in ("parser", "enricher", "aggregator", "readings", "sink"):
+        if name.startswith(prefix):
+            rest = name[len(prefix):]
+            if rest == "":
+                return "lane:0"
+            if rest.isdigit():
+                return f"lane:{int(rest)}"
+    return name
+
+
 def build_pipeline_app(window: int = 10,
-                       aggregator_class: Optional[Type[Component]] = None
-                       ) -> Application:
-    """Parser -> Enricher -> Aggregator; external ``readings``/``sink``."""
+                       aggregator_class: Optional[Type[Component]] = None,
+                       lanes: int = 1) -> Application:
+    """``lanes`` parallel Parser -> Enricher -> Aggregator chains.
+
+    Lane 0 keeps the original external ids (``readings``/``sink``) and
+    component names; lane *i* uses ``readings<i>``/``sink<i>`` and
+    ``parser<i>``/... .  Lanes share no wires, so placing each lane on
+    one replication group makes shard failures lane-local: killing a
+    group stalls only the lanes it hosts while the rest keep streaming.
+    """
+    if lanes < 1:
+        raise ValueError(f"lanes must be >= 1 (got {lanes})")
     app = Application("pipeline")
-    app.add_component("parser", Parser)
-    app.add_component("enricher", Enricher)
-    app.add_component(
-        "aggregator", aggregator_class or make_aggregator_class(window)
-    )
-    app.external_input("readings", "parser", "input")
-    app.wire("parser", "out", "enricher", "input")
-    app.wire("enricher", "out", "aggregator", "input")
-    app.external_output("aggregator", "out", "sink")
+    agg_cls = aggregator_class or make_aggregator_class(window)
+    for lane in range(lanes):
+        sfx = lane_suffix(lane)
+        app.add_component(f"parser{sfx}", Parser)
+        app.add_component(f"enricher{sfx}", Enricher)
+        app.add_component(f"aggregator{sfx}", agg_cls)
+        app.external_input(f"readings{sfx}", f"parser{sfx}", "input")
+        app.wire(f"parser{sfx}", "out", f"enricher{sfx}", "input")
+        app.wire(f"enricher{sfx}", "out", f"aggregator{sfx}", "input")
+        app.external_output(f"aggregator{sfx}", "out", f"sink{sfx}")
     return app

@@ -27,23 +27,44 @@ from repro.net.topology import ClusterSpec
 
 
 def build_spec(args: argparse.Namespace) -> ClusterSpec:
-    """A chaos-tuned cluster spec: same workload as the cluster CLI,
-    compressed transport timeouts so partitions and kills resolve in
-    test-scale wall time."""
+    """A chaos-tuned cluster spec: same workload and sharded layout as
+    the cluster CLI (one pipeline lane per engine when there are three
+    or more, placed by consistent hashing), compressed transport
+    timeouts so partitions and kills resolve in test-scale wall time."""
+    from repro.apps.pipeline import build_pipeline_app, lane_key, lane_suffix
+    from repro.net.topology import sharded_placement
+
+    engines = [f"e{i}" for i in range(args.engines)]
+    lanes = 1 if args.engines <= 2 else args.engines
+    app_args = {"window": args.window}
+    placement = {}
+    if lanes > 1:
+        app_args["lanes"] = lanes
+        app = build_pipeline_app(**app_args)
+        placement = sharded_placement(app.component_names(), engines,
+                                      group_key=lane_key)
+    workload = {}
+    per, rem = divmod(args.messages, lanes)
+    for lane in range(lanes):
+        n = per + (1 if lane < rem else 0)
+        if n:
+            workload[f"readings{lane_suffix(lane)}"] = {
+                "n_messages": n,
+                "mean_interarrival_ms": args.mean_ms,
+            }
     return ClusterSpec(
         app="pipeline",
-        app_args={"window": args.window},
-        engines=[f"e{i}" for i in range(args.engines)],
+        app_args=app_args,
+        engines=engines,
+        placement=placement,
         replicas=args.replicas,
+        followers_per_group=getattr(args, "followers", None),
         master_seed=args.master_seed,
         speed=args.speed,
         checkpoint_interval_ms=args.checkpoint_ms,
         heartbeat_interval_ms=args.heartbeat_ms,
         heartbeat_miss_limit=args.heartbeat_miss,
-        workload={"readings": {
-            "n_messages": args.messages,
-            "mean_interarrival_ms": args.mean_ms,
-        }},
+        workload=workload,
         recovery_target_ms=args.recovery_target,
         audit=args.audit,
         audit_every=args.audit_every,
@@ -82,6 +103,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="skip the in-simulator replay")
     parser.add_argument("--engines", type=int, default=2)
     parser.add_argument("--replicas", type=int, default=1, choices=(0, 1))
+    parser.add_argument("--followers", type=int, default=None, metavar="K",
+                        help="followers per replication group (overrides "
+                             "--replicas)")
     parser.add_argument("--messages", type=int, default=240)
     parser.add_argument("--mean-ms", type=float, default=1.0)
     parser.add_argument("--window", type=int, default=10)

@@ -17,7 +17,12 @@ indistinguishable from the failure-free simulation:
    replica after an engine kill, the engine otherwise).  A ``None``
    expectation (e.g. a SIGSTOP/SIGCONT duel) only requires that *some*
    single incarnation won.
-4. **Audit stayed clean under faults** — every audit report collected
+4. **Non-victim liveness** — on kill-only schedules, every sink whose
+   upstream components avoid the victim's replication group must keep
+   delivering during the failover window (kill tick → the victim
+   group's first recovered output): group failover is group-local, not
+   a cluster-wide stall.
+5. **Audit stayed clean under faults** — every audit report collected
    from a cleanly shut-down child is internally consistent (heal mode:
    every divergence healed; raise mode: no divergence at all), and
    every *delivered* state corruption whose host survived the schedule
@@ -38,7 +43,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import UnrecoverableClusterError
 from repro.chaos.schedule import ChaosSchedule
-from repro.net.topology import ClusterSpec
+from repro.net.topology import ClusterSpec, sink_upstream_engines
 from repro.tools.verify_determinism import verify_trace_equivalence
 
 
@@ -79,10 +84,20 @@ def convergence_violations(
     spec: ClusterSpec,
     schedule: ChaosSchedule,
     incarnations: Dict[str, Optional[str]],
+    result: Optional[Dict] = None,
 ) -> List[str]:
-    """Engines whose final incarnation is not where the schedule says."""
+    """Engines whose final incarnation is not where the schedule says.
+
+    One lawful exception: when the stream finished *complete* on a host
+    in the group's succession line that the schedule then killed, the
+    kill must have landed after the last byte — no traffic remained to
+    force the coordinator onto the next follower in line, so ending
+    pointed at the (now dead) host is correct behaviour, not a failed
+    promotion.
+    """
     violations: List[str] = []
     expected_hosts = schedule.expected_hosts(spec)
+    complete = bool((result or {}).get("complete"))
     for engine_id, expected in sorted(expected_hosts.items()):
         incarnation = incarnations.get(engine_id)
         host = incarnation_host(incarnation)
@@ -92,10 +107,68 @@ def convergence_violations(
             # byte identity already covers their output path.
             continue
         if expected is not None and host != expected:
+            line = ([f"engine-{engine_id}"]
+                    + list(spec.follower_processes(engine_id)))
+            host_killed = any(e.kind == "kill" and e.target == host
+                              for e in schedule.events)
+            if complete and host in line and host_killed:
+                continue
             violations.append(
                 f"{engine_id}: converged on {host} "
                 f"(incarnation {incarnation}), expected {expected}"
             )
+    return violations
+
+
+def liveness_violations(
+    spec: ClusterSpec,
+    schedule: ChaosSchedule,
+    result: Dict,
+    reference: Dict[str, List[Tuple]],
+) -> List[str]:
+    """Non-victim groups must keep delivering through each failover.
+
+    For every engine kill the schedule lowers, the failover window runs
+    from the kill tick to the first output of a sink depending on the
+    victim group (its first recovered byte).  Each sink *independent* of
+    the victim must deliver at least once inside the window, unless its
+    stream was already complete before the kill.  Only enforced on
+    kill-only schedules: partition/stop/latency windows legitimately
+    stall innocent groups, which would turn this into a flake.
+    """
+    if not schedule.events or any(e.kind != "kill"
+                                  for e in schedule.events):
+        return []
+    arrivals: Dict[str, List[int]] = result.get("arrival_ticks") or {}
+    if not arrivals:
+        return []
+    ref_counts = {sink: len(stream) for sink, stream in reference.items()}
+    upstream = sink_upstream_engines(spec)
+    violations: List[str] = []
+    for event in schedule.sim_events(spec):
+        if event["kind"] != "kill":
+            continue
+        victim, kill_tick = event["node"], event["at_ticks"]
+        victim_sinks = [s for s, deps in upstream.items() if victim in deps]
+        others = [s for s, deps in upstream.items() if victim not in deps]
+        if not others:
+            continue
+        end = min((t for sink in victim_sinks
+                   for t in arrivals.get(sink, []) if t >= kill_tick),
+                  default=None)
+        if end is None:  # the victim group never recovered
+            end = max((t for ts in arrivals.values() for t in ts),
+                      default=kill_tick)
+        for sink in sorted(others):
+            ticks = arrivals.get(sink, [])
+            if (len(ticks) >= ref_counts.get(sink, 0)
+                    and all(t < kill_tick for t in ticks)):
+                continue  # already complete before the kill
+            if not any(kill_tick <= t <= end for t in ticks):
+                violations.append(
+                    f"{sink}: no delivery during {victim}'s failover "
+                    f"window [{kill_tick}, {end}] ticks"
+                )
     return violations
 
 
@@ -200,9 +273,12 @@ def check_invariants(
     violations.extend(once)
 
     converge = convergence_violations(
-        spec, schedule, result.get("incarnations", {})
+        spec, schedule, result.get("incarnations", {}), result
     )
     violations.extend(converge)
+
+    liveness = liveness_violations(spec, schedule, result, reference)
+    violations.extend(liveness)
 
     audit = audit_violations(spec, schedule, result)
     violations.extend(audit)
@@ -215,6 +291,7 @@ def check_invariants(
         "byte_identical": verdict.deterministic,
         "exactly_once": not once,
         "converged": not converge,
+        "liveness": not liveness,
         "audit_clean": not audit,
         "delivered": delivered,
         "expected": expected,

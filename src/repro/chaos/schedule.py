@@ -219,12 +219,12 @@ class ChaosSchedule:
     def lost_state(self, spec: ClusterSpec) -> Optional[str]:
         """Name the state an unsurvivable schedule destroys, else None.
 
-        A schedule is unsurvivable when, for some engine, both the
-        engine process and its replica process are dead at the end of
-        the schedule (killed, or stopped and never continued) — the
-        volatile engine state, the shipped checkpoint chain, and the
-        only successor are then all gone.  With replicas disabled, any
-        engine kill is unsurvivable.
+        A schedule is unsurvivable when, for some engine, the engine
+        process and *every* follower process of its replication group
+        are dead at the end of the schedule (killed, or stopped and
+        never continued) — the volatile engine state, every shipped
+        checkpoint chain, and the whole succession line are then gone.
+        With replication disabled, any engine kill is unsurvivable.
         """
         dead: Dict[str, bool] = {}
         for event in self.ordered():
@@ -234,15 +234,15 @@ class ChaosSchedule:
                 dead.pop(event.target, None)
         for engine_id in spec.engines:
             engine_dead = dead.get(f"engine-{engine_id}", False)
-            replica_dead = dead.get(f"replica-{engine_id}", False)
-            if engine_dead and spec.replicas < 1:
-                return (f"engine {engine_id}: killed with no replica "
+            followers = spec.follower_processes(engine_id)
+            if engine_dead and not followers:
+                return (f"engine {engine_id}: killed with no followers "
                         f"configured; volatile state and checkpoint "
                         f"chain lost")
-            if engine_dead and replica_dead:
-                return (f"engine {engine_id}: engine-{engine_id} and "
-                        f"replica-{engine_id} both dead; checkpoint "
-                        f"chain and successor lost")
+            if engine_dead and all(dead.get(p, False) for p in followers):
+                return (f"engine {engine_id}: engine-{engine_id} and all "
+                        f"{len(followers)} follower process(es) dead; "
+                        f"checkpoint chains and succession line lost")
         return None
 
     # -- simulator lowering ----------------------------------------------
@@ -258,13 +258,27 @@ class ChaosSchedule:
         """
         nodes_of = plan_cluster_nodes(spec)
         lowered: List[Dict] = []
+        # Promotion-aware host tracking: killing the process that
+        # *currently* hosts an engine (the engine process, or — after an
+        # earlier kill — the follower process it promoted into) lowers
+        # to a simulator engine kill; killing an idle follower does not.
+        current_host = {e: f"engine-{e}" for e in spec.engines}
+        dead_procs: set = set()
         for event in self.ordered():
             at_ticks = int(ms(event.at_ms))
-            if event.kind == "kill" and event.target.startswith("engine-"):
-                lowered.append({
-                    "kind": "kill", "at_ticks": at_ticks,
-                    "node": event.target[len("engine-"):],
-                })
+            if event.kind == "kill":
+                dead_procs.add(event.target)
+                victim = next((e for e, host in current_host.items()
+                               if host == event.target), None)
+                if victim is not None:
+                    lowered.append({
+                        "kind": "kill", "at_ticks": at_ticks,
+                        "node": victim,
+                    })
+                    current_host[victim] = next(
+                        (p for p in spec.follower_processes(victim)
+                         if p not in dead_procs), None,
+                    )
             elif event.kind == "partition":
                 a, b = event.link
                 lowered.append({
@@ -312,8 +326,14 @@ class ChaosSchedule:
                    if e.kind in ("stop", "cont")}
         for engine_id in spec.engines:
             engine_proc = f"engine-{engine_id}"
-            if engine_proc in killed and spec.replicas >= 1:
-                expected[engine_id] = f"replica-{engine_id}"
+            if engine_proc in killed and spec.followers() >= 1:
+                # First surviving follower in the succession line hosts
+                # the engine at the end (earlier ranks killed too mean
+                # repeated promotions down the chain).
+                expected[engine_id] = next(
+                    (p for p in spec.follower_processes(engine_id)
+                     if p not in killed), None,
+                )
             elif engine_proc in stopped:
                 expected[engine_id] = None
             else:
@@ -447,6 +467,49 @@ def _gen_corrupt_state(rng, spec):
                        target=f"engine-{victim}", component=component)]
 
 
+def _component_hosting_engines(spec: ClusterSpec) -> List[str]:
+    """Engines hosting at least one component, in spec order."""
+    placed = set(component_placement(spec).values())
+    hosting = [e for e in spec.engines if e in placed]
+    return hosting or list(spec.engines)
+
+
+def _gen_group_leader_kill(rng, spec):
+    """Kill one group's leader while load flows through the others.
+
+    Targets an engine that actually hosts components (hash placement on
+    a sharded spec can differ from spec order), so the kill stalls a
+    real lane; the invariant checker then demands group-local
+    convergence *and* deliveries from every independent group during
+    the failover window.
+    """
+    victim = rng.choice(_component_hosting_engines(spec))
+    return [ChaosEvent("kill", rng.uniform(0.35, 0.55) * _span_ms(spec),
+                       target=f"engine-{victim}")]
+
+
+def _gen_leader_then_follower_kill(rng, spec):
+    """Kill a leader, then its rank-0 follower after it promoted.
+
+    The second kill lands one-to-two detection windows after the first —
+    enough for rank 0 to promote and resume heartbeats — so it takes
+    down the *promoted* engine, and the group must fail over a second
+    time into rank 1 (whose rank-scaled detector timeout makes it act
+    only once both predecessors are gone).  On specs with fewer than two
+    followers the second kill is withheld: the schedule stays
+    survivable by construction.
+    """
+    span = _span_ms(spec)
+    victim = rng.choice(_component_hosting_engines(spec))
+    kill_at = rng.uniform(0.20, 0.30) * span
+    events = [ChaosEvent("kill", kill_at, target=f"engine-{victim}")]
+    if spec.followers() >= 2:
+        follow_at = kill_at + _detection_ms(spec) * rng.uniform(1.1, 1.6)
+        events.append(ChaosEvent("kill", follow_at,
+                                 target=spec.follower_process(victim, 0)))
+    return events
+
+
 def _gen_unsurvivable(rng, spec):
     """Kill an engine *and* its replica: state is genuinely lost."""
     span = _span_ms(spec)
@@ -492,8 +555,11 @@ SCENARIOS = {
     "partition_promotion": _gen_partition_promotion,
     "latency_throttle": _gen_latency_throttle,
     "stop_cont": _gen_stop_cont,
-    # Appended last so seeds 0..6 keep their historical scenarios.
+    # Appended in arrival order so earlier seeds keep their historical
+    # scenarios (seed % len picks from this rotation).
     "corrupt_state": _gen_corrupt_state,
+    "group_leader_kill": _gen_group_leader_kill,
+    "leader_then_follower_kill": _gen_leader_then_follower_kill,
 }
 
 EXTRA_SCENARIOS = {

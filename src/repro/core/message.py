@@ -113,10 +113,18 @@ class CheckpointData:
 
 @dataclass(frozen=True)
 class CheckpointAck:
-    """Replica acknowledges that checkpoint ``cp_seq`` is stable."""
+    """Replica acknowledges that checkpoint ``cp_seq`` is stable.
+
+    ``replica_id`` identifies the acknowledging follower so an engine
+    shipping its chain to several followers can wait for *all* of them
+    before declaring a checkpoint stable.  Empty (the pre-group legacy
+    form) means "the engine's only replica" and counts as a full
+    acknowledgement.
+    """
 
     engine_id: str
     cp_seq: int
+    replica_id: str = ""
 
 
 @dataclass(frozen=True)

@@ -45,6 +45,27 @@ class WiringError(ComponentError):
     dangling service call, component placed on no engine, ...)."""
 
 
+class SpecValidationError(WiringError, ValueError):
+    """A cluster spec document failed validation.
+
+    Raised by :meth:`repro.net.topology.ClusterSpec.from_json` (and the
+    spec's ``validate`` hook) for unknown top-level keys and
+    out-of-range values, so a typo like ``"folowers_per_group"`` fails
+    loudly instead of silently producing a default single-group spec.
+    Structured: ``key`` names the offending field, ``value`` carries the
+    rejected value, and ``reason`` says what was expected.  Derives from
+    :class:`ValueError` so generic config loaders can catch it without
+    importing this hierarchy.
+    """
+
+    def __init__(self, key: str, value, reason: str):
+        super().__init__(f"cluster spec field {key!r}: {reason} "
+                         f"(got {value!r})")
+        self.key = key
+        self.value = value
+        self.reason = reason
+
+
 class StateError(ComponentError):
     """Checkpointable state was used outside the declared cells, or a
     checkpoint could not be captured/restored."""

@@ -365,6 +365,7 @@ def build_gateway_spec(args: argparse.Namespace,
         app_args={"window": args.window},
         engines=[f"e{i}" for i in range(args.engines)],
         replicas=args.replicas,
+        followers_per_group=getattr(args, "followers", None),
         master_seed=args.seed,
         # One tick per nanosecond: latency percentiles in real us.
         speed=1.0,
@@ -443,6 +444,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--engines", type=int, default=2)
     parser.add_argument("--replicas", type=int, default=1, choices=(0, 1))
+    parser.add_argument("--followers", type=int, default=None, metavar="K",
+                        help="followers per replication group (overrides "
+                             "--replicas)")
     parser.add_argument("--messages", type=int, default=240,
                         help="total submissions across all clients")
     parser.add_argument("--clients", type=int, default=16)
@@ -479,8 +483,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--json", action="store_true", dest="as_json")
     args = parser.parse_args(argv)
 
-    if args.kill_active and args.replicas < 1:
-        parser.error("--kill-active requires --replicas >= 1")
+    if args.followers is not None and args.followers < 0:
+        parser.error("--followers must be >= 0")
+    effective_followers = (args.followers if args.followers is not None
+                           else args.replicas)
+    if args.kill_active and effective_followers < 1:
+        parser.error("--kill-active requires at least one follower "
+                     "(--followers >= 1 or --replicas 1)")
     kill_engine = None
     if args.kill_active:
         kill_engine = args.kill_engine or "e0"

@@ -124,6 +124,12 @@ class OutboundChannel:
         #: (the node is known to have moved there; see :meth:`redirect`).
         self._expected_peer: Optional[str] = None
         self._writer = None
+        #: Whether a handshaken connection is currently up.  Channels to
+        #: an unreachable node (its group is mid-failover) are *parked*:
+        #: they buffer but do not count as congestion, so one group's
+        #: failover cannot stall the pump feeding every other group (see
+        #: :meth:`congested`).
+        self.connected = False
         self._wake = asyncio.Event()
         self._closed = False
         self._task: Optional[asyncio.Task] = None
@@ -175,8 +181,17 @@ class OutboundChannel:
         return len(self._pending) + len(self._unacked)
 
     def congested(self) -> bool:
-        """Whether the pump should pause before producing more."""
-        return self.backlog() > HIGH_WATER_ITEMS
+        """Whether the pump should pause before producing more.
+
+        Only a *connected* channel exerts backpressure.  While the peer
+        is down (reconnect loop cycling candidates — e.g. its replication
+        group is electing a successor) the backlog grows without pausing
+        the pump; promotion triggers an epoch reset that discards the
+        dead incarnation's backlog, and replay regenerates what
+        mattered.  The trade is bounded stall blast-radius for
+        transiently unbounded buffering, sized by the failover window.
+        """
+        return self.connected and self.backlog() > HIGH_WATER_ITEMS
 
     # -- lifecycle ------------------------------------------------------
     def start(self) -> None:
@@ -285,11 +300,13 @@ class OutboundChannel:
             backoff = self.backoff_min
             reader, writer, incarnation = conn
             self._on_incarnation(incarnation)
+            self.connected = True
             try:
                 await self._converse(reader, writer)
             except (ConnectionError, OSError, asyncio.IncompleteReadError):
                 pass
             finally:
+                self.connected = False
                 self.reconnects += 1
                 writer.close()
                 try:

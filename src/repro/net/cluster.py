@@ -42,6 +42,8 @@ from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 import repro
+from repro.apps.pipeline import build_pipeline_app, lane_key, lane_suffix
+from repro.errors import WiringError
 from repro.net import codec
 from repro.net.server import ProcessRuntime
 from repro.net.topology import (
@@ -49,8 +51,11 @@ from repro.net.topology import (
     assign_addresses,
     attach_workload,
     build_deployment,
+    component_placement,
     plan_cluster_nodes,
     reference_run,
+    sharded_placement,
+    sink_upstream_engines,
     stream_of,
 )
 from repro.sim.kernel import ms
@@ -94,6 +99,11 @@ class CoordinatorHost:
 
     def streams(self) -> Dict[str, List[Tuple]]:
         return {sink: stream_of(c) for sink, c in self.consumers.items()}
+
+    def arrival_ticks(self) -> Dict[str, List[int]]:
+        """Per-sink local-sim arrival tick of every effective output."""
+        return {sink: [t for _seq, _vt, _payload, t in c.effective_outputs]
+                for sink, c in self.consumers.items()}
 
     def stutter(self) -> int:
         return sum(c.stutter for c in self.consumers.values())
@@ -286,6 +296,7 @@ async def run_networked(
                     "engine": kill_engine,
                     "at_outputs": sum(counts.values()),
                     "at_s": round(time.monotonic() - started, 3),
+                    "at_ticks": runtime.clock.ticks(),
                 }
             if counts == ref_counts:
                 result["complete"] = True
@@ -332,6 +343,7 @@ async def run_networked(
     result.update(
         counts=host.counts(),
         streams=host.streams(),
+        arrival_ticks=host.arrival_ticks(),
         stutter=host.stutter(),
         elapsed_s=round(time.monotonic() - started, 3),
         child_exit_codes=exit_codes,
@@ -348,24 +360,104 @@ async def run_networked(
 
 
 def build_spec(args: argparse.Namespace) -> ClusterSpec:
+    """The cluster spec for the CLI knobs.
+
+    With three or more engines the pipeline is *sharded*: one lane per
+    engine, lanes placed by consistent hashing (whole lanes travel
+    together), and the message budget split across the lane inputs — so
+    every engine leads a replication group with an independent output
+    stream, the shape the group-failover scenarios need.  One or two
+    engines keep the legacy single-lane contiguous layout.
+    """
+    engines = [f"e{i}" for i in range(args.engines)]
+    lanes = 1 if args.engines <= 2 else args.engines
+    app_args = {"window": args.window}
+    placement: Dict[str, str] = {}
+    if lanes > 1:
+        app_args["lanes"] = lanes
+        app = build_pipeline_app(**app_args)
+        placement = sharded_placement(app.component_names(), engines,
+                                      group_key=lane_key)
+    workload: Dict[str, Dict] = {}
+    per, rem = divmod(args.messages, lanes)
+    for lane in range(lanes):
+        n = per + (1 if lane < rem else 0)
+        if n:
+            workload[f"readings{lane_suffix(lane)}"] = {
+                "n_messages": n,
+                "mean_interarrival_ms": args.mean_ms,
+            }
     return ClusterSpec(
         app="pipeline",
-        app_args={"window": args.window},
-        engines=[f"e{i}" for i in range(args.engines)],
+        app_args=app_args,
+        engines=engines,
+        placement=placement,
         replicas=args.replicas,
+        followers_per_group=getattr(args, "followers", None),
         master_seed=args.seed,
         speed=args.speed,
         checkpoint_interval_ms=args.checkpoint_ms,
         heartbeat_interval_ms=args.heartbeat_ms,
         heartbeat_miss_limit=args.heartbeat_miss,
-        workload={"readings": {
-            "n_messages": args.messages,
-            "mean_interarrival_ms": args.mean_ms,
-        }},
+        workload=workload,
         recovery_target_ms=args.recovery_target,
         audit=args.audit,
         audit_every=args.audit_every,
     )
+
+
+def default_victim(spec: ClusterSpec) -> str:
+    """The first engine (spec order) actually hosting components."""
+    placed = set(component_placement(spec).values())
+    for engine_id in spec.engines:
+        if engine_id in placed:
+            return engine_id
+    raise WiringError("no engine hosts any component")
+
+
+def group_liveness(spec: ClusterSpec, result: Dict,
+                   victim: str, ref_counts: Dict[str, int]) -> Optional[Dict]:
+    """Check non-victim groups kept delivering during the failover window.
+
+    The window runs from the SIGKILL tick to the first post-kill output
+    of any sink depending on the victim group (the first recovered
+    byte).  Every sink *independent* of the victim must deliver at least
+    once inside it — unless its stream was already complete before the
+    kill.  Returns None when the invariant does not apply (no kill tick
+    recorded, or no independent sinks to observe).
+    """
+    killed = result.get("killed") or {}
+    kill_tick = killed.get("at_ticks")
+    arrivals: Dict[str, List[int]] = result.get("arrival_ticks") or {}
+    if kill_tick is None:
+        return None
+    upstream = sink_upstream_engines(spec)
+    victim_sinks = sorted(s for s, deps in upstream.items() if victim in deps)
+    others = sorted(s for s, deps in upstream.items() if victim not in deps)
+    if not others:
+        return None
+    end = min((t for sink in victim_sinks
+               for t in arrivals.get(sink, []) if t >= kill_tick),
+              default=None)
+    if end is None:  # victim never recovered; judge against the whole tail
+        end = max((t for ts in arrivals.values() for t in ts),
+                  default=kill_tick)
+    stalled = []
+    for sink in others:
+        ticks = arrivals.get(sink, [])
+        done_before_kill = (len(ticks) >= ref_counts.get(sink, 0)
+                            and all(t < kill_tick for t in ticks))
+        if done_before_kill:
+            continue
+        if not any(kill_tick <= t <= end for t in ticks):
+            stalled.append(sink)
+    return {
+        "ok": not stalled,
+        "window_ticks": [kill_tick, end],
+        "victim_sinks": victim_sinks,
+        "independent_sinks": others,
+        "stalled_sinks": stalled,
+    }
 
 
 def _trial(label: str, spec: ClusterSpec, ref_counts: Dict[str, int],
@@ -390,6 +482,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--replicas", type=int, default=1, choices=(0, 1),
                         help="passive replicas per engine (0 disables "
                              "checkpointing and failover)")
+    parser.add_argument("--followers", type=int, default=None, metavar="K",
+                        help="followers per replication group (overrides "
+                             "--replicas; K >= 2 gives each engine a "
+                             "rank-ordered succession line)")
     parser.add_argument("--kill-active", action="store_true",
                         help="SIGKILL an engine process mid-stream and "
                              "require byte-identical recovered output")
@@ -464,6 +560,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             "--heartbeat-ms", str(args.heartbeat_ms),
             "--heartbeat-miss", str(args.heartbeat_miss),
         ]
+        if args.followers is not None:
+            gateway_argv += ["--followers", str(args.followers)]
         if args.kill_active:
             gateway_argv.append("--kill-active")
             if args.kill_engine:
@@ -491,6 +589,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             "--heartbeat-ms", str(args.heartbeat_ms),
             "--heartbeat-miss", str(args.heartbeat_miss),
         ]
+        if args.followers is not None:
+            chaos_argv += ["--followers", str(args.followers)]
         if args.recovery_target is not None:
             chaos_argv += ["--recovery-target", str(args.recovery_target)]
         if args.audit != "off":
@@ -503,15 +603,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             chaos_argv.append("--json")
         return chaos_main(chaos_argv)
 
-    if args.kill_active and args.replicas < 1:
-        parser.error("--kill-active requires --replicas >= 1")
-    kill_engine = None
-    if args.kill_active:
-        kill_engine = args.kill_engine or f"e{0}"
-        if kill_engine not in [f"e{i}" for i in range(args.engines)]:
-            parser.error(f"unknown --kill-engine {kill_engine!r}")
+    followers = (args.followers if args.followers is not None
+                 else args.replicas)
+    if args.kill_active and followers < 1:
+        parser.error("--kill-active requires --replicas or --followers >= 1")
+    if args.followers is not None and args.followers < 0:
+        parser.error("--followers must be >= 0")
 
     spec = build_spec(args)
+    kill_engine = None
+    if args.kill_active:
+        kill_engine = args.kill_engine or default_victim(spec)
+        if kill_engine not in spec.engines:
+            parser.error(f"unknown --kill-engine {kill_engine!r}")
     span_s = spec.workload_span_ticks() / (1e9 * spec.speed)
     deadline_s = args.timeout or max(30.0, 6.0 * span_s + 10.0)
 
@@ -543,7 +647,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             reference, result.pop("streams"), trial=label,
             require_complete=True,
         )
-        ok = verdict.deterministic and result["complete"] and not result["error"]
+        liveness = (group_liveness(spec, result, victim, ref_counts)
+                    if victim is not None else None)
+        result.pop("arrival_ticks", None)  # bulky; judged above
+        result["liveness"] = liveness
+        ok = (verdict.deterministic and result["complete"]
+              and not result["error"]
+              and (liveness is None or liveness["ok"]))
         failed = failed or not ok
         result["deterministic"] = verdict.deterministic
         result["ok"] = ok
@@ -557,6 +667,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                  f"{result['killed']['at_outputs']} outputs"
                  if result["killed"] else ""),
               file=sys.stderr, flush=True)
+        if liveness is not None:
+            print(f"{label}: non-victim liveness "
+                  f"{'OK' if liveness['ok'] else 'FAIL'} — "
+                  f"{len(liveness['independent_sinks'])} independent "
+                  f"sink(s), stalled={liveness['stalled_sinks']}",
+                  file=sys.stderr, flush=True)
         for proc, audit in sorted(result.get("audit_reports", {}).items()):
             print(f"{label}: audit[{proc}]: "
                   f"{json.dumps(audit, sort_keys=True)}",

@@ -46,9 +46,14 @@ class ReplicaHost:
     """
 
     def __init__(self, spec: ClusterSpec, engine_id: str,
-                 sim: Simulator, transport: NetTransport):
+                 sim: Simulator, transport: NetTransport, rank: int = 0):
         self.spec = spec
         self.engine_id = engine_id
+        #: This follower's promotion rank within the replication group.
+        #: Rank 0 is first in the succession line; higher ranks run
+        #: rank-scaled detector timeouts so they only act once every
+        #: rank below them has died too.
+        self.rank = int(rank)
         self.sim = sim
         self.network = transport
         self.deployment = build_deployment(spec, sim=sim)
@@ -61,11 +66,11 @@ class ReplicaHost:
         #: engine only, represented by its remote handle until promotion.
         self.engines: Dict[str, object] = {
             engine_id: RemoteEngineHandle(engine_id, spec, transport.peer_id,
-                                          transport=transport)
+                                          transport=transport, rank=self.rank)
         }
         self.recovery = RecoveryManager(self)
 
-        self.replica = self.deployment.replicas[engine_id]
+        self.replica = self.deployment.followers[engine_id][self.rank]
         self.replica.network = transport
         transport.register(self.replica)
 
@@ -73,6 +78,7 @@ class ReplicaHost:
         self.detector = HeartbeatDetector(
             sim, self.recovery, engine_id,
             config.heartbeat_interval, config.heartbeat_miss_limit,
+            rank=self.rank,
         )
         self.replica.detector = self.detector
 

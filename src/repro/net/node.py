@@ -221,20 +221,32 @@ class RemoteEngineHandle:
     """
 
     def __init__(self, engine_id: str, spec: ClusterSpec, peer_id: str,
-                 transport: Optional["NetTransport"] = None):
+                 transport: Optional["NetTransport"] = None, rank: int = 0):
         self.node_id = engine_id
         self.engine_id = engine_id
         self.alive = True
         self._spec = spec
         self._peer_id = peer_id
         self._transport = transport
+        #: Promotion rank of the follower process holding this handle.
+        self.rank = int(rank)
 
     def halt(self) -> None:
+        """Fence every process that may still host a stale incarnation.
+
+        The engine node's address candidates are ordered primary first,
+        then the follower processes in promotion (rank) order.  When
+        rank *r* promotes, the engine may previously have been hosted by
+        the primary or by any follower of rank < r (each earlier link in
+        the succession line) — fence them all; never our own process or
+        higher ranks, which cannot have hosted the engine yet.
+        """
         self.alive = False
-        addresses = self._spec.addresses.get(self.engine_id)
-        if addresses:
+        addresses = self._spec.addresses.get(self.engine_id) or []
+        for idx, address in enumerate(addresses[:1 + self.rank]):
             asyncio.get_running_loop().create_task(
-                self._fence(addresses[0]), name=f"fence:{self.engine_id}"
+                self._fence(tuple(address)),
+                name=f"fence:{self.engine_id}:{idx}",
             )
 
     async def _fence(self, address) -> None:

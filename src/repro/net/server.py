@@ -261,15 +261,25 @@ class ProcessRuntime:
 
 
 def host_factory_for(name: str, spec: ClusterSpec) -> Callable:
-    """The host constructor for a process name (engine-X / replica-X)."""
+    """The host constructor for a process name.
+
+    ``engine-<id>`` hosts the active engine; ``replica-<id>[.<rank>]``
+    hosts one follower of <id>'s replication group (rank 0 when the
+    suffix is absent).  Engine ids cannot contain ``.`` (spec
+    validation), so the rank suffix parses unambiguously.
+    """
     if name.startswith("engine-"):
         engine_id = name[len("engine-"):]
         return lambda rt: EngineHost(spec, engine_id, rt.sim, rt.transport)
     if name.startswith("replica-"):
-        engine_id = name[len("replica-"):]
-        return lambda rt: ReplicaHost(spec, engine_id, rt.sim, rt.transport)
+        engine_id, rank = name[len("replica-"):], 0
+        base, dot, suffix = engine_id.rpartition(".")
+        if dot and suffix.isdigit():
+            engine_id, rank = base, int(suffix)
+        return lambda rt: ReplicaHost(spec, engine_id, rt.sim, rt.transport,
+                                      rank=rank)
     raise SystemExit(f"unknown process role in name {name!r} "
-                     f"(expect engine-<id> or replica-<id>)")
+                     f"(expect engine-<id> or replica-<id>[.<rank>])")
 
 
 def _announce(line: str) -> None:

@@ -21,12 +21,25 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.apps.pipeline import build_pipeline_app, reading_factory
-from repro.errors import WiringError
+import re
+
+from repro.apps.pipeline import build_pipeline_app, lane_key, reading_factory
+from repro.errors import SpecValidationError, WiringError
 from repro.runtime.app import Application, Deployment
 from repro.runtime.engine import EngineConfig
-from repro.runtime.placement import Placement
+from repro.runtime.placement import (
+    Placement,
+    _rendezvous_weight,
+    consistent_hash_placement,
+    follower_node_id,
+    follower_node_ids,
+)
 from repro.sim.kernel import Simulator, ms
+
+#: Engine ids must stay out of the separators used by node/process
+#: naming (``replica:<id>.<rank>`` nodes, ``replica-<id>.<rank>``
+#: processes) and the ``proc:``/``ext:`` prefixes.
+_ENGINE_ID_RE = re.compile(r"^[A-Za-z0-9_-]+$")
 
 
 @dataclass
@@ -43,6 +56,10 @@ class ClusterSpec:
     placement: Dict[str, str] = field(default_factory=dict)
     #: Passive replicas per engine (0 disables checkpoint/heartbeat).
     replicas: int = 1
+    #: Followers per replication group.  ``None`` falls back to
+    #: ``replicas`` (the legacy single-follower knob); an explicit value
+    #: sizes each engine's rank-ordered follower chain.
+    followers_per_group: Optional[int] = None
     master_seed: int = 7
     #: Simulated ticks per real nanosecond (0.1 => 1 ms-tick per 10 ms).
     speed: float = 0.1
@@ -103,7 +120,10 @@ class ClusterSpec:
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = set(raw) - known
         if unknown:
-            raise WiringError(f"unknown cluster spec keys: {sorted(unknown)}")
+            raise SpecValidationError(
+                sorted(unknown)[0], sorted(unknown),
+                f"unknown cluster spec keys (known: {sorted(known)})",
+            )
         spec = cls(**raw)
         spec.addresses = {
             node: [(host, int(port)) for host, port in addrs]
@@ -118,11 +138,91 @@ class ClusterSpec:
         if spec.gateway.get("listen") is not None:
             host, port = spec.gateway["listen"]
             spec.gateway["listen"] = (host, int(port))
+        spec.validate()
         return spec
 
+    def validate(self) -> None:
+        """Structured range/shape checks; raises :class:`SpecValidationError`.
+
+        ``from_json`` always validates, so a spec that crossed a process
+        boundary is known-good; hand-constructed specs may call this
+        explicitly before launch.
+        """
+        def bad(key, value, reason):
+            raise SpecValidationError(key, value, reason)
+
+        if not isinstance(self.engines, (list, tuple)) or not self.engines:
+            bad("engines", self.engines, "must be a non-empty list")
+        if len(set(self.engines)) != len(self.engines):
+            bad("engines", self.engines, "engine ids must be unique")
+        for engine_id in self.engines:
+            if not isinstance(engine_id, str) or not _ENGINE_ID_RE.match(engine_id):
+                bad("engines", engine_id,
+                    "engine ids must match [A-Za-z0-9_-]+ (no '.', ':', '/')")
+        if not isinstance(self.replicas, int) or self.replicas < 0:
+            bad("replicas", self.replicas, "must be an integer >= 0")
+        if self.followers_per_group is not None and (
+                not isinstance(self.followers_per_group, int)
+                or self.followers_per_group < 0):
+            bad("followers_per_group", self.followers_per_group,
+                "must be null or an integer >= 0")
+        if not isinstance(self.speed, (int, float)) or self.speed <= 0:
+            bad("speed", self.speed, "must be > 0")
+        for key in ("checkpoint_interval_ms", "heartbeat_interval_ms",
+                    "connect_timeout_s", "handshake_timeout_s",
+                    "backoff_min_s", "backoff_max_s"):
+            value = getattr(self, key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                bad(key, value, "must be > 0")
+        if self.backoff_max_s < self.backoff_min_s:
+            bad("backoff_max_s", self.backoff_max_s,
+                f"must be >= backoff_min_s ({self.backoff_min_s})")
+        for key in ("full_checkpoint_every", "heartbeat_miss_limit",
+                    "fence_attempts", "batch_max_items", "audit_every"):
+            value = getattr(self, key)
+            if not isinstance(value, int) or value < 1:
+                bad(key, value, "must be an integer >= 1")
+        if not isinstance(self.fence_gap_s, (int, float)) or self.fence_gap_s < 0:
+            bad("fence_gap_s", self.fence_gap_s, "must be >= 0")
+        if self.recovery_target_ms is not None and (
+                not isinstance(self.recovery_target_ms, (int, float))
+                or self.recovery_target_ms <= 0):
+            bad("recovery_target_ms", self.recovery_target_ms,
+                "must be null or > 0")
+        if self.audit not in ("off", "raise", "heal"):
+            bad("audit", self.audit, "must be one of 'off', 'raise', 'heal'")
+        if not isinstance(self.placement, dict):
+            bad("placement", self.placement, "must be a component->engine map")
+        engines = set(self.engines)
+        for component, engine_id in self.placement.items():
+            if engine_id not in engines:
+                bad("placement", {component: engine_id},
+                    f"targets unknown engine (engines: {sorted(engines)})")
+        if not isinstance(self.workload, dict):
+            bad("workload", self.workload, "must be an input->params map")
+
     # -- derived --------------------------------------------------------
-    def replica_node(self, engine_id: str) -> str:
-        return f"replica:{engine_id}"
+    def followers(self) -> int:
+        """Followers per replication group (0 disables replication)."""
+        if self.followers_per_group is not None:
+            return self.followers_per_group
+        return self.replicas
+
+    def replica_node(self, engine_id: str, rank: int = 0) -> str:
+        return follower_node_id(engine_id, rank)
+
+    def follower_nodes(self, engine_id: str) -> List[str]:
+        """One engine's follower node ids, in promotion (rank) order."""
+        return follower_node_ids(engine_id, self.followers())
+
+    def follower_process(self, engine_id: str, rank: int = 0) -> str:
+        """Process name hosting one follower (``replica-<id>[.<rank>]``)."""
+        return "replica-" + follower_node_id(engine_id, rank)[len("replica:"):]
+
+    def follower_processes(self, engine_id: str) -> List[str]:
+        """One engine's follower process names, in promotion order."""
+        return [self.follower_process(engine_id, rank)
+                for rank in range(self.followers())]
 
     def listen_addr(self, process: str) -> Tuple[str, int]:
         """The address the named process binds its server socket to."""
@@ -152,7 +252,7 @@ class ClusterSpec:
         return self.gateway_addr()
 
     def engine_config(self) -> EngineConfig:
-        if self.replicas <= 0:
+        if self.followers() <= 0:
             if self.recovery_target_ms is not None or self.audit != "off":
                 raise WiringError(
                     "recovery_target_ms / audit require replicas >= 1 "
@@ -216,18 +316,125 @@ def contiguous_placement(component_names: List[str],
     return placement
 
 
+def sharded_placement(component_names: List[str],
+                      engine_ids: List[str],
+                      group_key=None) -> Dict[str, str]:
+    """Consistent-hash placement with bounded per-engine load.
+
+    Rendezvous hashing (see
+    :func:`repro.runtime.placement.consistent_hash_placement`) assigns
+    each hash group to its highest-scoring engine, which for small group
+    counts leaves the shards lopsided — or an engine empty, and the
+    networked runtime hosts one process per engine with nothing to
+    replay or fail over.  A deterministic bounded-load rebalance
+    therefore caps every engine at ``ceil(G/k)`` groups and floors it at
+    ``floor(G/k)``: overflowing engines shed the groups that score them
+    *lowest*, each displaced group landing on the engine that scores it
+    highest among those with room.  Groups the hash already placed
+    within bounds never move, and the result depends only on the *sets*
+    involved, so every process computes the same map.
+    """
+    placed = dict(consistent_hash_placement(
+        list(component_names), list(engine_ids), group_key=group_key
+    ).items())
+    keyed = group_key or (lambda name: name)
+    groups: Dict[str, List[str]] = {}
+    for name in placed:
+        groups.setdefault(keyed(name), []).append(name)
+    owner = {key: placed[members[0]] for key, members in groups.items()}
+    load: Dict[str, List[str]] = {e: [] for e in engine_ids}
+    for key in sorted(owner):
+        load[owner[key]].append(key)
+    n_groups, n_engines = len(owner), len(engine_ids)
+    cap = -(-n_groups // n_engines)
+    floor = n_groups // n_engines
+
+    def weight(engine_id: str, key: str):
+        return _rendezvous_weight(engine_id, key)
+
+    def move(donor: str, target: str, key: str) -> None:
+        load[donor].remove(key)
+        load[target].append(key)
+        owner[key] = target
+        for name in groups[key]:
+            placed[name] = target
+
+    while True:
+        over = sorted(e for e in load if len(load[e]) > cap)
+        if not over:
+            break
+        donor = max(over, key=lambda e: (len(load[e]), e))
+        # Shed the group this engine was the weakest claim on.
+        key = min(load[donor], key=lambda g: (weight(donor, g), g))
+        room = [e for e in load if len(load[e]) < cap]
+        move(donor, max(room, key=lambda e: (weight(e, key), e)), key)
+    while True:
+        under = sorted(e for e in load if len(load[e]) < floor)
+        if not under:
+            break
+        target = under[0]
+        donor = max(load, key=lambda e: (len(load[e]), e))
+        key = max(load[donor], key=lambda g: (weight(target, g), g))
+        move(donor, target, key)
+    return placed
+
+
 def component_placement(spec: ClusterSpec) -> Dict[str, str]:
     """component name -> engine id, as :func:`build_deployment` places it.
 
     Cheap (no deployment is built): resolves the spec's explicit
     placement or the default contiguous one.  Used by the chaos
     schedule generator to aim state-corruption faults at the engine
-    actually hosting a given component.
+    actually hosting a given component, and by the liveness invariant
+    to map sinks to replication groups.
     """
     app = build_application(spec)
     return dict(spec.placement) or contiguous_placement(
         app.component_names(), spec.engines
     )
+
+
+def sink_engines(spec: ClusterSpec) -> Dict[str, str]:
+    """sink (external output id) -> engine id feeding it.
+
+    The chaos invariant checker uses this to split output streams into
+    replication groups: a leader kill in group G must stall only the
+    sinks G feeds.
+    """
+    app = build_application(spec)
+    placement = component_placement(spec)
+    return {external_id: placement[src]
+            for external_id, src in app.external_output_sources().items()}
+
+
+def sink_upstream_engines(spec: ClusterSpec) -> Dict[str, set]:
+    """sink -> set of engine ids anywhere upstream of it.
+
+    A sink is *independent* of a failing group G only when no component
+    feeding it (transitively) is placed on G — the condition under which
+    the non-victim liveness invariant may demand deliveries during G's
+    failover window.  Lane-sharded pipelines keep each lane's whole
+    chain on one engine, so each sink depends on exactly one group.
+    """
+    app = build_application(spec)
+    placement = component_placement(spec)
+    upstream_of: Dict[str, set] = {}
+    for decl in app._wires:
+        if decl.kind in ("data", "call") and decl.src and decl.dst:
+            upstream_of.setdefault(decl.dst, set()).add(decl.src)
+            if decl.kind == "call":  # the reply wire makes this mutual
+                upstream_of.setdefault(decl.src, set()).add(decl.dst)
+    result: Dict[str, set] = {}
+    for external_id, src in app.external_output_sources().items():
+        seen, frontier = set(), [src]
+        while frontier:
+            name = frontier.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            frontier.extend(upstream_of.get(name, ()))
+        result[external_id] = {placement[name] for name in seen}
+    return result
 
 
 def build_deployment(spec: ClusterSpec,
@@ -248,6 +455,7 @@ def build_deployment(spec: ClusterSpec,
         engine_config=spec.engine_config(),
         sim=sim,
         master_seed=spec.master_seed,
+        followers=max(1, spec.followers()),
     )
 
 
@@ -297,9 +505,9 @@ def plan_cluster_nodes(spec: ClusterSpec) -> Dict[str, List[str]]:
     """process name -> node ids it hosts at startup.
 
     Processes: ``coordinator`` (every ingress and consumer), one
-    ``engine-<id>`` per engine, one ``replica-<id>`` per engine when
-    replicas are enabled.  Every process additionally hosts a
-    ``proc:<name>`` control node for the GO/shutdown barrier.
+    ``engine-<id>`` per engine, and one ``replica-<id>[.<rank>]`` per
+    follower of each replication group.  Every process additionally
+    hosts a ``proc:<name>`` control node for the GO/shutdown barrier.
     """
     dep = build_deployment(spec)
     layout: Dict[str, List[str]] = {
@@ -310,8 +518,10 @@ def plan_cluster_nodes(spec: ClusterSpec) -> Dict[str, List[str]]:
     }
     for engine_id in spec.engines:
         layout[f"engine-{engine_id}"] = [engine_id]
-        if spec.replicas > 0:
-            layout[f"replica-{engine_id}"] = [spec.replica_node(engine_id)]
+        for rank in range(spec.followers()):
+            layout[spec.follower_process(engine_id, rank)] = [
+                spec.replica_node(engine_id, rank)
+            ]
     return layout
 
 
@@ -320,9 +530,10 @@ def assign_addresses(spec: ClusterSpec,
     """Fill ``spec.addresses`` from per-process listen addresses.
 
     ``listen_ports`` maps process name -> (host, port).  Engine nodes
-    get two candidates — the engine process first, then the replica
-    process that may promote them; every other node lives in exactly one
-    process.
+    get ``1 + followers`` candidates — the engine process first, then
+    each follower process in promotion (rank) order, so a channel that
+    loses the leader walks the candidate list straight down the group's
+    succession line; every other node lives in exactly one process.
     """
     addresses: Dict[str, List[Tuple[str, int]]] = {}
     for process, nodes in plan_cluster_nodes(spec).items():
@@ -330,7 +541,7 @@ def assign_addresses(spec: ClusterSpec,
             addresses.setdefault(node, []).append(listen_ports[process])
         addresses[f"proc:{process}"] = [listen_ports[process]]
     for engine_id in spec.engines:
-        replica_proc = f"replica-{engine_id}"
-        if replica_proc in listen_ports:
-            addresses[engine_id].append(listen_ports[replica_proc])
+        for process in spec.follower_processes(engine_id):
+            if process in listen_ports:
+                addresses[engine_id].append(listen_ports[process])
     spec.addresses = addresses

@@ -41,7 +41,7 @@ from repro.errors import WiringError
 from repro.runtime.engine import EngineConfig, ExecutionEngine
 from repro.runtime.external import ExternalConsumer, ExternalIngress, PoissonProducer
 from repro.runtime.metrics import MetricSet
-from repro.runtime.placement import Placement
+from repro.runtime.placement import Placement, follower_node_id
 from repro.runtime.recovery import RecoveryManager
 from repro.runtime.replica import PassiveReplica
 from repro.runtime.transport import LinkParams, Network
@@ -130,6 +130,14 @@ class Application:
         """Declared component names, in declaration order."""
         return list(self._components)
 
+    def external_output_sources(self) -> Dict[str, str]:
+        """External output id -> source component, in declaration order."""
+        return {cid: decl.src for cid, decl in self._external_outputs.items()}
+
+    def external_input_targets(self) -> Dict[str, str]:
+        """External input id -> destination component, declaration order."""
+        return {iid: decl.dst for iid, decl in self._external_inputs.items()}
+
     def component_class(self, name: str) -> Type[Component]:
         """Class of one declared component."""
         return self._components[name]
@@ -185,10 +193,15 @@ class Deployment:
         birth_of: Optional[Callable[[Any], Optional[int]]] = None,
         cost_overrides: Optional[Dict[Tuple[str, str], Any]] = None,
         log_latency: int = 0,
+        followers: int = 1,
     ):
         placement.validate_components(app.component_names())
+        if followers < 1:
+            raise WiringError(f"followers must be >= 1, got {followers}")
         self.app = app
         self.placement = placement
+        #: Passive followers per replication group, in promotion order.
+        self.followers_per_group = int(followers)
         self.sim = sim or Simulator()
         self.rng = RngRegistry(master_seed)
         self.metrics = MetricSet()
@@ -207,7 +220,10 @@ class Deployment:
 
         self.router = WireRouter()
         self.engines: Dict[str, ExecutionEngine] = {}
+        #: engine id -> rank-0 follower (the legacy single-replica view).
         self.replicas: Dict[str, PassiveReplica] = {}
+        #: engine id -> all followers of its group, in rank order.
+        self.followers: Dict[str, List[PassiveReplica]] = {}
         self.fault_logs: Dict[str, ListFaultLog] = {}
         self.ingresses: Dict[str, ExternalIngress] = {}
         self.consumers: Dict[str, ExternalConsumer] = {}
@@ -222,15 +238,23 @@ class Deployment:
     # -- construction -------------------------------------------------------
     def _config_for(self, engine_id: str) -> EngineConfig:
         base = self._engine_configs.get(engine_id, self._default_config)
-        return dataclasses.replace(base, replica_id=f"replica:{engine_id}")
+        ids = tuple(follower_node_id(engine_id, rank)
+                    for rank in range(self.followers_per_group))
+        return dataclasses.replace(base, replica_id=ids[0], replica_ids=ids)
 
     def _build(self) -> None:
         # Replicas and fault logs exist outside the engines (stable side).
         for engine_id in self.placement.engines():
-            replica = PassiveReplica(f"replica:{engine_id}", self.sim,
-                                     self.network, engine_id)
-            self.replicas[engine_id] = replica
-            self.network.register(replica)
+            group: List[PassiveReplica] = []
+            for rank in range(self.followers_per_group):
+                replica = PassiveReplica(
+                    follower_node_id(engine_id, rank), self.sim,
+                    self.network, engine_id, rank=rank, metrics=self.metrics,
+                )
+                group.append(replica)
+                self.network.register(replica)
+            self.followers[engine_id] = group
+            self.replicas[engine_id] = group[0]
             self.fault_logs[engine_id] = ListFaultLog()
 
         # Resolve wire ids and endpoints once, in declaration order.

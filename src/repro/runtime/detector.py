@@ -49,12 +49,13 @@ class HeartbeatEmitter:
     def _tick(self) -> None:
         if not self.engine.alive:
             return  # fail-stop: the beacon dies with the engine
-        replica_id = self.engine.config.replica_id
-        if replica_id is not None:
-            self.engine.network.send(
-                self.engine.node_id, replica_id,
-                Heartbeat(self.engine.engine_id, self._seq),
-            )
+        targets = self.engine.config.replica_ids
+        if targets:
+            beat = Heartbeat(self.engine.engine_id, self._seq)
+            for replica_id in targets:
+                self.engine.network.send(
+                    self.engine.node_id, replica_id, beat
+                )
             self._seq += 1
         self.engine.sim.after(self.interval, self._tick,
                               f"hb:{self.engine.engine_id}")
@@ -72,14 +73,22 @@ class HeartbeatDetector:
     """
 
     def __init__(self, sim, recovery, engine_id: str,
-                 interval: int, miss_limit: int = 3):
+                 interval: int, miss_limit: int = 3, rank: int = 0):
         if miss_limit < 1:
             raise RecoveryError("miss_limit must be >= 1")
+        if rank < 0:
+            raise RecoveryError("rank must be >= 0")
         self.sim = sim
         self.recovery = recovery
         self.engine_id = engine_id
         self.interval = int(interval)
         self.miss_limit = int(miss_limit)
+        #: Promotion rank of the follower running this detector.  Higher
+        #: ranks wait longer (see :attr:`timeout`) so rank 0 promotes
+        #: first; its successor's resumed heartbeats re-arm the others
+        #: before their deadlines, and a rank only acts when every rank
+        #: below it died too.
+        self.rank = int(rank)
         self._deadline_event = None
         self._last_seq: Optional[int] = None
         #: Number of times this detector has declared the engine dead.
@@ -88,8 +97,13 @@ class HeartbeatDetector:
 
     @property
     def timeout(self) -> int:
-        """Silent period after which the engine is declared dead."""
-        return self.interval * self.miss_limit
+        """Silent period after which the engine is declared dead.
+
+        Rank-scaled: rank *r* waits ``(2r + 1)`` base timeouts, leaving
+        each lower rank a full extra detection window to promote and
+        resume heartbeats before the next rank concludes it died too.
+        """
+        return self.interval * self.miss_limit * (2 * self.rank + 1)
 
     def watch(self) -> None:
         """Start (or restart) watching."""

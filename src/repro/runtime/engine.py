@@ -68,8 +68,18 @@ class EngineConfig:
     checkpoint_interval: Optional[int] = None
     #: Every Nth checkpoint is full; the others are incremental.
     full_checkpoint_every: int = 8
-    #: Node id of this engine's passive replica (required to checkpoint).
+    #: Node id of this engine's rank-0 passive replica (required to
+    #: checkpoint).  Authoritative: ``None`` disables replication even
+    #: if :attr:`replica_ids` is set; a bare id becomes a one-follower
+    #: group.  Normalized against :attr:`replica_ids` by
+    #: ``__post_init__``.
     replica_id: Optional[str] = None
+    #: Node ids of *all* followers in this engine's replication group,
+    #: in promotion (rank) order.  Checkpoints and heartbeats fan out to
+    #: every entry; a checkpoint is stable (and upstream buffers may be
+    #: trimmed) only once every follower acknowledged it, so any single
+    #: surviving follower can still replay from its chain.
+    replica_ids: tuple = ()
     #: Enable drift-triggered determinism-fault re-calibration.
     calibrate: bool = False
     #: Drift-monitor window (samples) and relative threshold.
@@ -108,6 +118,20 @@ class EngineConfig:
     checkpoint_max_retries: int = 16
 
     def __post_init__(self):
+        # Normalize the two replica-target forms: a bare replica_id is a
+        # one-follower group; replica_ids lists the whole group with the
+        # primary at its head.  replica_id is authoritative on conflict —
+        # a dataclasses.replace override that disagrees with an inherited
+        # list (including replica_id=None to disable replication) is the
+        # caller opting out of the group.
+        ids = tuple(self.replica_ids or ())
+        if self.replica_id is None:
+            ids = ()
+        elif not ids or ids[0] != self.replica_id:
+            ids = (self.replica_id,)
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate replica_ids: {ids}")
+        self.replica_ids = ids
         if (self.checkpoint_interval is not None
                 and self.checkpoint_interval <= 0):
             raise ValueError(
@@ -201,6 +225,8 @@ class ExecutionEngine:
         self._cp_seq = cp_seq_start
         self._cp_positions: Dict[int, Dict[int, int]] = {}
         self._cp_captured_at: Dict[int, int] = {}
+        #: cp_seq -> follower node ids that have acknowledged it.
+        self._cp_acked: Dict[int, set] = {}
         self._cp_ever_full = False
         self._cp_retries = 0
         self._last_cp_at: Optional[int] = None
@@ -492,11 +518,13 @@ class ExecutionEngine:
                 positions[wid] = recv.next_seq
         self._cp_positions[self._cp_seq] = positions
         self._cp_captured_at[self._cp_seq] = self.sim.now
-        self.network.send(
-            self.node_id,
-            self.config.replica_id,
-            CheckpointData(self.engine_id, self._cp_seq, incremental, blob),
-        )
+        for replica_id in self.config.replica_ids:
+            self.network.send(
+                self.node_id,
+                replica_id,
+                CheckpointData(self.engine_id, self._cp_seq, incremental,
+                               blob),
+            )
         self.metrics.count("checkpoints_captured")
         self.metrics.add("checkpoint_bytes", len(blob))
         if self.auditor is not None:
@@ -513,6 +541,15 @@ class ExecutionEngine:
         return self._cp_seq
 
     def _on_checkpoint_ack(self, ack: CheckpointAck) -> None:
+        if ack.replica_id:
+            # Group form: a checkpoint is stable only once *every*
+            # follower holds it — trimming upstream buffers earlier
+            # would strand a surviving-but-lagging follower's replay.
+            acked = self._cp_acked.setdefault(ack.cp_seq, set())
+            acked.add(ack.replica_id)
+            if not set(self.config.replica_ids) <= acked:
+                return
+            self._cp_acked.pop(ack.cp_seq, None)
         captured_at = self._cp_captured_at.pop(ack.cp_seq, None)
         if captured_at is not None and self.cadence is not None:
             self.cadence.observe_ack(self.sim.now - captured_at)
@@ -523,6 +560,7 @@ class ExecutionEngine:
         for seq in [s for s in self._cp_positions if s < ack.cp_seq]:
             del self._cp_positions[seq]
             self._cp_captured_at.pop(seq, None)
+            self._cp_acked.pop(seq, None)
         for wire_id, next_seq in positions.items():
             if next_seq == 0:
                 continue

@@ -7,7 +7,8 @@ validated component→engine map; helpers build common layouts.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+import hashlib
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.errors import WiringError
 
@@ -56,6 +57,25 @@ class Placement:
         return f"Placement({self._assignment})"
 
 
+def follower_node_id(engine_id: str, rank: int = 0) -> str:
+    """Node id of one follower replica of a replication group.
+
+    Rank 0 keeps the legacy ``replica:<engine>`` id (single-replica
+    deployments are a 1-follower group); higher ranks append ``.<rank>``.
+    Engine ids must not contain ``.`` for the ranked form to stay
+    unambiguous — the cluster spec validation enforces that.
+    """
+    if rank < 0:
+        raise WiringError(f"follower rank must be >= 0, got {rank}")
+    base = f"replica:{engine_id}"
+    return base if rank == 0 else f"{base}.{rank}"
+
+
+def follower_node_ids(engine_id: str, count: int) -> List[str]:
+    """Follower node ids of one group, in promotion (rank) order."""
+    return [follower_node_id(engine_id, rank) for rank in range(count)]
+
+
 def single_engine_placement(component_names: Iterable[str],
                             engine_id: str = "engine0") -> Placement:
     """Everything on one engine (the paper's simulation studies)."""
@@ -70,4 +90,48 @@ def round_robin_placement(component_names: Iterable[str],
     names = list(component_names)
     return Placement({
         name: engine_ids[i % len(engine_ids)] for i, name in enumerate(names)
+    })
+
+
+def _rendezvous_weight(engine_id: str, key: str) -> bytes:
+    return hashlib.sha1(f"{engine_id}\x00{key}".encode("utf-8")).digest()
+
+
+def rendezvous_owner(key: str, engine_ids: Iterable[str]) -> str:
+    """The engine owning ``key`` under rendezvous (HRW) hashing.
+
+    Each engine scores ``sha1(engine || key)``; the highest score wins
+    (ties broken by engine id, though sha1 ties are not expected).  The
+    choice depends only on the *set* of engines, never their order, and
+    removing an engine only reassigns the keys it owned — every other
+    key keeps its previous owner.  Hashing goes through :mod:`hashlib`
+    so the assignment is identical across processes and runs regardless
+    of ``PYTHONHASHSEED``.
+    """
+    engines = list(engine_ids)
+    if not engines:
+        raise WiringError("no engines to place onto")
+    return max(engines, key=lambda e: (_rendezvous_weight(e, key), e))
+
+
+def consistent_hash_placement(
+    component_names: Iterable[str],
+    engine_ids: List[str],
+    group_key: Optional[Callable[[str], str]] = None,
+) -> Placement:
+    """Place components on engines by rendezvous (consistent) hashing.
+
+    ``group_key`` maps a component name to its hash key; components
+    sharing a key are co-located on one engine (e.g. one pipeline lane's
+    stages travel together so a shard failure stalls only that lane).
+    The default keys each component by its own name.
+    """
+    if not engine_ids:
+        raise WiringError("no engines to place onto")
+    if len(set(engine_ids)) != len(engine_ids):
+        raise WiringError(f"duplicate engine ids: {engine_ids}")
+    keyed = group_key or (lambda name: name)
+    return Placement({
+        name: rendezvous_owner(keyed(name), engine_ids)
+        for name in component_names
     })

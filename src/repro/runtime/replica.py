@@ -8,6 +8,15 @@ II.F.2) — so this class is deliberately dumb: it stores checkpoint blobs,
 acknowledges them, and can *materialize* the merged state (base full
 checkpoint plus incremental deltas) when the recovery manager promotes
 it.
+
+With replication groups (N engines × K followers), one engine ships its
+chain to several replicas; each acknowledges with its own node id so the
+engine can wait for the whole group before trimming upstream buffers.
+The stored chain is garbage-collected: once it grows past
+``gc_fold_threshold`` entries, the prefix is folded into one synthetic
+full checkpoint — bounding both entry count and retained bytes on long
+runs — and the ``replica.chain_len`` / ``replica.chain_bytes`` gauges
+expose the current footprint.
 """
 
 from __future__ import annotations
@@ -19,19 +28,33 @@ from repro.errors import RecoveryError
 from repro.runtime import checkpoint as cpser
 from repro.runtime.state_merge import fold_chain
 
+#: Chain entries above which the prefix is folded into a synthetic full.
+GC_FOLD_THRESHOLD = 8
+
 
 class PassiveReplica:
     """Checkpoint store + failover source for one engine."""
 
-    def __init__(self, node_id: str, sim, network, engine_id: str):
+    def __init__(self, node_id: str, sim, network, engine_id: str,
+                 rank: int = 0, metrics=None,
+                 gc_fold_threshold: int = GC_FOLD_THRESHOLD):
         self.node_id = node_id
         self.alive = True
         self.sim = sim
         self.network = network
         self.engine_id = engine_id
+        #: Promotion rank within the engine's replication group.
+        self.rank = rank
+        #: Optional MetricSet the chain gauges are written to.
+        self.metrics = metrics
+        self.gc_fold_threshold = max(2, int(gc_fold_threshold))
         #: (cp_seq, incremental, decoded blob) in arrival order.
         self._chain: List[tuple] = []
+        #: Serialized size of each chain entry, kept in step with _chain.
+        self._chain_sizes: List[int] = []
         self.bytes_received = 0
+        #: Chain-GC folds performed (diagnostics).
+        self.gc_folds = 0
         #: Optional heartbeat detector fed by this replica's receive().
         self.detector = None
 
@@ -53,6 +76,7 @@ class PassiveReplica:
         if not item.incremental:
             # A full checkpoint obsoletes the existing chain.
             self._chain = [(item.cp_seq, False, decoded)]
+            self._chain_sizes = [len(item.blob)]
         else:
             if not self._chain:
                 raise RecoveryError(
@@ -60,11 +84,49 @@ class PassiveReplica:
                     f"without a base"
                 )
             self._chain.append((item.cp_seq, True, decoded))
+            self._chain_sizes.append(len(item.blob))
         self.bytes_received += len(item.blob)
+        if len(self._chain) > self.gc_fold_threshold:
+            self._gc_fold()
+        self._publish_gauges()
         self.network.send(
             self.node_id, self.engine_id,
-            CheckpointAck(self.engine_id, item.cp_seq),
+            CheckpointAck(self.engine_id, item.cp_seq,
+                          replica_id=self.node_id),
         )
+
+    # -- chain garbage collection ------------------------------------------
+    def _gc_fold(self) -> None:
+        """Fold the whole chain prefix into one synthetic full checkpoint.
+
+        The fold keeps the newest entry's ``cp_seq`` (the chain's replay
+        starting point is unchanged) and replaces everything below it
+        with the merged state, so a long run's delta tail cannot grow
+        without bound even when the engine defers full captures.
+        """
+        last_seq = self._chain[-1][0]
+        folded = self.materialize()
+        blob = cpser.dumps({"components": folded})
+        self._chain = [(last_seq, False, cpser.loads(blob))]
+        self._chain_sizes = [len(blob)]
+        self.gc_folds += 1
+        if self.metrics is not None:
+            self.metrics.count("replica.gc_folds")
+
+    def _publish_gauges(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge("replica.chain_len", self.chain_len)
+            self.metrics.gauge("replica.chain_bytes", self.chain_bytes)
+
+    @property
+    def chain_len(self) -> int:
+        """Entries currently retained in the checkpoint chain."""
+        return len(self._chain)
+
+    @property
+    def chain_bytes(self) -> int:
+        """Serialized bytes currently retained in the chain."""
+        return sum(self._chain_sizes)
 
     # -- failover ----------------------------------------------------------
     @property

@@ -130,12 +130,84 @@ def bench_replay(failovers: int = 5) -> Dict:
     }
 
 
+def bench_group_failover(
+    shapes=((1, 1), (3, 1), (3, 2)),
+    messages: int = 240,
+    speed: float = 0.1,
+) -> Dict:
+    """Live SIGKILL-to-first-recovered-byte latency per cluster shape.
+
+    For each ``engines x followers`` shape, runs the real multi-process
+    cluster with ``--kill-active`` semantics and measures
+    ``group_failover_ms``: wall milliseconds from the SIGKILL to the
+    first byte a sink depending on the victim's replication group
+    delivers afterwards (detection + promotion + replay + reconnect).
+    The non-sharded ``1x1`` shape is the legacy engine+replica pair;
+    the ``3xK`` shapes measure group-local failover while the other
+    groups keep streaming.
+    """
+    import argparse
+    import asyncio
+
+    from repro.net.cluster import (
+        build_spec,
+        default_victim,
+        run_networked,
+        with_addresses,
+    )
+    from repro.net.topology import reference_run, sink_upstream_engines
+
+    shapes_out: Dict[str, Dict] = {}
+    for engines, followers in shapes:
+        args = argparse.Namespace(
+            engines=engines, replicas=1, followers=followers,
+            messages=messages, mean_ms=1.0, window=10, seed=7,
+            speed=speed, checkpoint_ms=25.0, heartbeat_ms=10.0,
+            heartbeat_miss=3, recovery_target=None,
+            audit="off", audit_every=1,
+        )
+        spec = build_spec(args)
+        reference = reference_run(spec)
+        ref_counts = {sink: len(s) for sink, s in reference.items()}
+        victim = default_victim(spec)
+        result = asyncio.run(run_networked(
+            with_addresses(spec), ref_counts, kill_engine=victim,
+            kill_fraction=0.4, deadline_s=120.0,
+        ))
+        label = f"{engines}x{followers}"
+        if result.get("error") or not result.get("complete"):
+            shapes_out[label] = {"error": result.get("error")
+                                 or "incomplete"}
+            continue
+        kill_tick = (result.get("killed") or {}).get("at_ticks")
+        arrivals = result.get("arrival_ticks") or {}
+        upstream = sink_upstream_engines(spec)
+        victim_sinks = [s for s, deps in upstream.items()
+                        if victim in deps]
+        first = min((t for sink in victim_sinks
+                     for t in arrivals.get(sink, []) if t >= kill_tick),
+                    default=None)
+        failover_ms = (None if first is None
+                       else round((first - kill_tick) / (1e6 * speed), 2))
+        shapes_out[label] = {
+            "engines": engines,
+            "followers": followers,
+            "victim": victim,
+            "group_failover_ms": failover_ms,
+            "stutter": result.get("stutter"),
+            "epoch_resets": result.get("epoch_resets"),
+            "elapsed_s": result.get("elapsed_s"),
+        }
+    return shapes_out
+
+
 def main() -> int:
     result = {
         "bench": "recovery",
         "checkpoint_capture": bench_capture(),
         "audit_rebuild_us": bench_audit_rebuild(),
         "replay": bench_replay(),
+        "group_failover": bench_group_failover(),
     }
     out = Path("BENCH_recovery.json")
     out.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")

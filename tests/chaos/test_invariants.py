@@ -100,7 +100,7 @@ def test_unsurvivable_incomplete_raises_structured_error():
         check_invariants(spec, schedule, reference,
                          make_result({"sink": [(0, 10, "a")]}))
     err = info.value
-    assert "both dead" in err.lost_state
+    assert "follower process(es) dead" in err.lost_state
     assert err.schedule_seed == 42
     assert (err.delivered, err.expected) == (1, 2)
     assert "unrecoverable" in str(err)

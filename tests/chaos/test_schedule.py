@@ -64,7 +64,7 @@ def test_lost_state_names_unsurvivable_schedules():
     spec = spec_for_tests()
     assert generate_schedule(0, spec, "kill_active").lost_state(spec) is None
     lost = generate_schedule(0, spec, "unsurvivable").lost_state(spec)
-    assert lost is not None and "both dead" in lost
+    assert lost is not None and "follower process(es) dead" in lost
     # SIGSTOP without SIGCONT counts as dead ...
     frozen = ChaosSchedule(events=[
         ChaosEvent("kill", 5.0, target="engine-e0"),
@@ -83,7 +83,7 @@ def test_lost_state_names_unsurvivable_schedules():
     killed = ChaosSchedule(events=[
         ChaosEvent("kill", 5.0, target="engine-e0"),
     ])
-    assert "no replica" in killed.lost_state(bare)
+    assert "no followers" in killed.lost_state(bare)
 
 
 def test_expected_hosts_after_kill():
@@ -145,7 +145,8 @@ class TestCorruptScenario:
         assert list(SCENARIOS) == [
             "kill_active", "kill_replica", "partition_heal",
             "double_fault", "partition_promotion", "latency_throttle",
-            "stop_cont", "corrupt_state",
+            "stop_cont", "corrupt_state", "group_leader_kill",
+            "leader_then_follower_kill",
         ]
         spec = spec_for_tests()
         assert generate_schedule(7, spec).scenario == "corrupt_state"
@@ -255,3 +256,83 @@ class TestGatewayClientReset:
         assert schedule.lost_state(spec) is None
         # No sim analogue: client resets never reach the simulator.
         assert schedule.sim_events(spec) == []
+
+
+class TestGroupScenarios:
+    """Sharded-group failover scenarios (rotation seeds 8 and 9)."""
+
+    def group_spec(self, followers=2, engines=3):
+        return spec_for_tests(engines=[f"e{i}" for i in range(engines)],
+                              followers_per_group=followers)
+
+    def test_rotation_picks_group_scenarios(self):
+        spec = self.group_spec()
+        assert generate_schedule(8, spec).scenario == "group_leader_kill"
+        assert generate_schedule(9, spec).scenario \
+            == "leader_then_follower_kill"
+
+    def test_group_leader_kill_targets_a_hosting_engine(self):
+        from repro.net.topology import component_placement
+
+        spec = self.group_spec()
+        schedule = generate_schedule(8, spec, "group_leader_kill")
+        (event,) = schedule.events
+        assert event.kind == "kill"
+        hosting = set(component_placement(spec).values())
+        assert event.target[len("engine-"):] in hosting
+        assert schedule.lost_state(spec) is None
+
+    def test_second_kill_targets_rank_zero_follower(self):
+        spec = self.group_spec(followers=2)
+        schedule = generate_schedule(9, spec, "leader_then_follower_kill")
+        first, second = schedule.ordered()
+        victim = first.target[len("engine-"):]
+        assert second.target == f"replica-{victim}"
+        assert second.at_ms > first.at_ms
+        # Rank 1 survives, so state is never lost.
+        assert schedule.lost_state(spec) is None
+
+    def test_second_kill_withheld_with_single_follower(self):
+        spec = self.group_spec(followers=1)
+        schedule = generate_schedule(9, spec, "leader_then_follower_kill")
+        assert len(schedule.events) == 1
+        assert schedule.lost_state(spec) is None
+
+    def test_lost_state_when_whole_group_dies(self):
+        spec = self.group_spec(followers=2)
+        dead = ChaosSchedule(events=[
+            ChaosEvent("kill", 5.0, target="engine-e0"),
+            ChaosEvent("kill", 6.0, target="replica-e0"),
+            ChaosEvent("kill", 7.0, target="replica-e0.1"),
+        ])
+        assert dead.lost_state(spec) is not None
+        survivable = ChaosSchedule(events=dead.events[:2])
+        assert survivable.lost_state(spec) is None
+
+    def test_expected_hosts_walk_the_succession_line(self):
+        spec = self.group_spec(followers=2)
+        schedule = ChaosSchedule(events=[
+            ChaosEvent("kill", 5.0, target="engine-e0"),
+            ChaosEvent("kill", 50.0, target="replica-e0"),
+        ])
+        assert schedule.expected_hosts(spec)["e0"] == "replica-e0.1"
+
+    def test_sim_lowering_is_promotion_aware(self):
+        spec = self.group_spec(followers=2)
+        schedule = ChaosSchedule(events=[
+            ChaosEvent("kill", 5.0, target="engine-e0"),
+            ChaosEvent("kill", 50.0, target="replica-e0"),
+            ChaosEvent("kill", 90.0, target="replica-e0.1"),
+        ])
+        lowered = schedule.sim_events(spec)
+        # Each kill of the *current* host lowers to an engine kill.
+        assert [e["kind"] for e in lowered] == ["kill"] * 3
+        assert [e["node"] for e in lowered] == ["e0"] * 3
+
+    def test_idle_follower_kill_has_no_sim_analogue(self):
+        spec = self.group_spec(followers=2)
+        schedule = ChaosSchedule(events=[
+            ChaosEvent("kill", 5.0, target="replica-e0.1"),
+        ])
+        assert schedule.sim_events(spec) == []
+        assert schedule.expected_hosts(spec)["e0"] == "engine-e0"

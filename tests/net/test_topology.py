@@ -109,3 +109,102 @@ def test_reference_run_is_deterministic_and_complete():
     # trivially constant).
     other = reference_run(small_spec(master_seed=12))
     assert other != first
+
+
+class TestReplicationGroups:
+    def test_follower_naming_and_rank_zero_compat(self):
+        spec = small_spec(followers_per_group=3)
+        assert spec.followers() == 3
+        assert spec.replica_node("e0") == "replica:e0"
+        assert spec.replica_node("e0", 2) == "replica:e0.2"
+        assert spec.follower_process("e0", 0) == "replica-e0"
+        assert spec.follower_process("e0", 2) == "replica-e0.2"
+        assert spec.follower_processes("e1") == [
+            "replica-e1", "replica-e1.1", "replica-e1.2"
+        ]
+
+    def test_followers_falls_back_to_replicas(self):
+        assert small_spec(replicas=1).followers() == 1
+        assert small_spec(replicas=0).followers() == 0
+        assert small_spec(replicas=0, followers_per_group=2).followers() == 2
+
+    def test_plan_cluster_nodes_multi_follower_layout(self):
+        spec = small_spec(followers_per_group=2)
+        layout = plan_cluster_nodes(spec)
+        assert set(layout) == {
+            "coordinator", "engine-e0", "engine-e1",
+            "replica-e0", "replica-e0.1", "replica-e1", "replica-e1.1",
+        }
+        assert layout["replica-e0.1"] == ["replica:e0.1"]
+
+    def test_assign_addresses_orders_succession_line(self):
+        spec = small_spec(followers_per_group=2)
+        ports = {name: ("127.0.0.1", 9200 + i)
+                 for i, name in enumerate(sorted(plan_cluster_nodes(spec)))}
+        assign_addresses(spec, ports)
+        assert spec.addresses["e0"] == [
+            ports["engine-e0"], ports["replica-e0"], ports["replica-e0.1"]
+        ]
+        assert spec.addresses["replica:e0.1"] == [ports["replica-e0.1"]]
+
+    def test_deployment_wires_all_follower_ids(self):
+        spec = small_spec(followers_per_group=2)
+        dep = build_deployment(spec)
+        assert [r.node_id for r in dep.followers["e0"]] == [
+            "replica:e0", "replica:e0.1"
+        ]
+        config = dep.engines["e0"].config
+        assert config.replica_id == "replica:e0"
+        assert config.replica_ids == ("replica:e0", "replica:e0.1")
+        assert [r.rank for r in dep.followers["e0"]] == [0, 1]
+
+
+class TestSpecValidation:
+    def test_unknown_keys_name_the_first_offender(self):
+        from repro.errors import SpecValidationError
+
+        with pytest.raises(SpecValidationError) as info:
+            ClusterSpec.from_json('{"zz_bogus": 1, "aa_bogus": 2}')
+        assert info.value.key == "aa_bogus"
+        assert "aa_bogus" in str(info.value)
+
+    def test_rejects_bad_engine_ids(self):
+        from repro.errors import SpecValidationError
+
+        for engines in ([], ["e0", "e0"], ["e.0"], ["e 0"], [""]):
+            with pytest.raises(SpecValidationError):
+                small_spec(engines=engines).validate()
+
+    def test_rejects_bad_numeric_fields(self):
+        from repro.errors import SpecValidationError
+
+        bad = [
+            dict(replicas=-1),
+            dict(followers_per_group=-2),
+            dict(speed=0),
+            dict(checkpoint_interval_ms=-1.0),
+            dict(heartbeat_miss_limit=0),
+            dict(backoff_min_s=0.5, backoff_max_s=0.1),
+            dict(recovery_target_ms=0),
+            dict(audit="sometimes"),
+        ]
+        for overrides in bad:
+            with pytest.raises(SpecValidationError):
+                small_spec(**overrides).validate()
+
+    def test_rejects_placement_onto_unknown_engine(self):
+        from repro.errors import SpecValidationError
+
+        with pytest.raises(SpecValidationError) as info:
+            small_spec(placement={"source": "nope"}).validate()
+        assert info.value.key == "placement"
+
+    def test_spec_validation_error_is_a_wiring_error(self):
+        from repro.errors import SpecValidationError
+
+        assert issubclass(SpecValidationError, WiringError)
+
+    def test_valid_spec_passes_and_roundtrips(self):
+        spec = small_spec(followers_per_group=2)
+        spec.validate()
+        assert ClusterSpec.from_json(spec.to_json()) == spec
