@@ -130,6 +130,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="audit once per N checkpoint captures")
     parser.add_argument("--timeout", type=float, default=None,
                         help="live-run wall-clock deadline in seconds")
+    parser.add_argument("--record", default=None, metavar="DIR",
+                        help="write a .replay flight-recorder bundle of "
+                             "the run (see docs/timetravel.md); invariant "
+                             "failures always record a reproducer bundle")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the full metrics registry as JSON "
+                             "at shutdown")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="machine-readable report on stdout")
     args = parser.parse_args(argv)
@@ -152,6 +159,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             deadline_s=args.timeout,
             run_sim=not args.skip_sim,
             run_live=not args.sim_only,
+            record_dir=args.record,
         )
     except UnrecoverableClusterError as exc:
         print(f"chaos: {exc}", file=sys.stderr, flush=True)
@@ -166,6 +174,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             }, indent=2, sort_keys=True))
         return 2
 
+    if args.metrics_out is not None:
+        Path(args.metrics_out).write_text(
+            json.dumps(report.get("metrics"), indent=2, sort_keys=True)
+            + "\n")
+        print(f"chaos: wrote metrics to {args.metrics_out}",
+              file=sys.stderr, flush=True)
+    report.pop("metrics", None)  # bulky; lives in --metrics-out / bundles
     if args.as_json:
         print(json.dumps(report, indent=2, sort_keys=True))
     verdict = report.get("verdict", {})

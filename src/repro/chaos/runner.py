@@ -27,6 +27,7 @@ import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.chaos.invariants import check_invariants
+from repro.errors import UnrecoverableClusterError
 from repro.chaos.proxy import FaultProxy, proxied_spec
 from repro.chaos.schedule import ChaosSchedule, generate_schedule
 from repro.net.cluster import run_networked, with_addresses
@@ -243,12 +244,15 @@ class ChaosDriver:
 
 
 def simulate_with_schedule(spec: ClusterSpec,
-                           schedule: ChaosSchedule) -> Dict[str, List]:
+                           schedule: ChaosSchedule,
+                           collect: Optional[Dict] = None) -> Dict[str, List]:
     """Run the spec in-simulator with the schedule's sim lowering.
 
     The fast half of the shared-schedule contract: the same fault
     script, lowered to node-level simulator events, applied to a pure
-    in-process deployment.  Returns per-sink output streams.
+    in-process deployment.  Returns per-sink output streams.  When
+    ``collect`` is given, the finished deployment and its metrics are
+    stashed there for callers that want more than the streams.
     """
     dep = build_deployment(spec)
     attach_workload(dep, spec)
@@ -256,8 +260,34 @@ def simulate_with_schedule(spec: ClusterSpec,
     until = (2 * spec.workload_span_ticks()
              + int(ms(schedule.end_ms())) + ms(1000))
     dep.run(until=until)
+    if collect is not None:
+        collect["deployment"] = dep
+        collect["metrics"] = dep.metrics
     return {sink: stream_of(consumer)
             for sink, consumer in dep.consumers.items()}
+
+
+def record_chaos_bundle(spec: ClusterSpec, schedule: ChaosSchedule,
+                        out_dir, verdict: Optional[Dict] = None,
+                        log: Callable[[str], None] = _stderr):
+    """Write a ``.replay`` reproducer bundle for a chaos run.
+
+    Recording re-executes the run's simulated twin under the replay
+    clock tracer (byte-identical by the determinism guarantee).  Never
+    raises: a recording failure must not mask the chaos verdict.
+    """
+    from repro.runtime.flightrec import record_run
+
+    try:
+        path = record_run(spec, out_dir, schedule=schedule,
+                          seed=schedule.seed, scenario=schedule.scenario,
+                          source="chaos", verdict=verdict)
+    except Exception as exc:  # noqa: BLE001 - reported, not fatal
+        log(f"chaos: bundle recording failed: "
+            f"{type(exc).__name__}: {exc}")
+        return None
+    log(f"chaos: wrote replay bundle {path}")
+    return path
 
 
 def chaos_deadline_s(spec: ClusterSpec, schedule: ChaosSchedule,
@@ -289,6 +319,7 @@ def run_chaos(
     run_sim: bool = True,
     run_live: bool = True,
     log: Callable[[str], None] = _stderr,
+    record_dir: Optional[str] = None,
 ) -> Dict:
     """One full chaos experiment; returns the report dict.
 
@@ -296,6 +327,12 @@ def run_chaos(
     schedule destroys state and the live run (correctly) cannot reach
     the reference output — callers decide whether that is the expected
     outcome (``--scenario unsurvivable``) or a surprise.
+
+    ``record_dir`` writes a flight-recorder ``.replay`` bundle of the
+    run's simulated twin (see ``repro.runtime.flightrec``).  Regardless
+    of the flag, any invariant failure writes
+    ``chaos-failure-seed<N>.replay`` in the working directory, so every
+    red run ships its own reproducer.
     """
     if schedule is None:
         schedule = generate_schedule(seed, spec, scenario)
@@ -322,10 +359,11 @@ def run_chaos(
     ref_counts = {sink: len(s) for sink, s in reference.items()}
     report["reference_outputs"] = sum(ref_counts.values())
 
+    sim_collect: Dict = {}
     if run_sim and report["lost_state"] is None:
         # In-simulator replay of the same fault script: fast ground
         # truth that the schedule itself is survivable and content-safe.
-        sim_streams = simulate_with_schedule(spec, schedule)
+        sim_streams = simulate_with_schedule(spec, schedule, sim_collect)
         sim_verdict = verify_trace_equivalence(
             reference, sim_streams,
             trial=f"sim-chaos-seed-{schedule.seed}", require_complete=True,
@@ -343,6 +381,9 @@ def run_chaos(
     if not run_live:
         report["ok"] = bool(report.get("sim", {}).get("deterministic",
                                                       True))
+        if "metrics" in sim_collect:
+            report["metrics"] = sim_collect["metrics"].dump_json()
+        _maybe_record(spec, schedule, record_dir, report, log)
         return report
 
     run_spec, proxy = proxied_spec(with_addresses(spec))
@@ -355,9 +396,19 @@ def run_chaos(
     ))
 
     streams = result.pop("streams")
+    report["metrics"] = result.pop("metrics", None)
     result_for_judge = dict(result, streams=streams)
-    verdict = check_invariants(run_spec, schedule, reference,
-                               result_for_judge)
+    try:
+        verdict = check_invariants(run_spec, schedule, reference,
+                                   result_for_judge)
+    except UnrecoverableClusterError as exc:
+        # Every red run ships its own reproducer bundle.
+        record_chaos_bundle(
+            spec, schedule,
+            record_dir or f"chaos-failure-seed{schedule.seed}",
+            verdict={"ok": False, "unrecoverable": str(exc)}, log=log,
+        )
+        raise
     report["live"] = {
         key: value for key, value in result.items()
         if key in ("counts", "complete", "error", "killed", "stutter",
@@ -369,4 +420,20 @@ def run_chaos(
     report["ok"] = verdict["ok"] and report.get("sim", {}).get(
         "deterministic", True
     )
+    _maybe_record(spec, schedule, record_dir, report, log)
     return report
+
+
+def _maybe_record(spec: ClusterSpec, schedule: ChaosSchedule,
+                  record_dir: Optional[str], report: Dict,
+                  log: Callable[[str], None]) -> None:
+    """Record when asked to — and always on an invariant failure."""
+    out_dir = record_dir
+    if out_dir is None and not report.get("ok", True):
+        out_dir = f"chaos-failure-seed{schedule.seed}"
+    if out_dir is None:
+        return
+    path = record_chaos_bundle(spec, schedule, out_dir,
+                               verdict=report.get("verdict"), log=log)
+    if path is not None:
+        report["bundle"] = str(path)

@@ -158,6 +158,12 @@ class ComponentRuntime:
         self._busy: Optional[BusyInfo] = None
         self._outbox: List[Tuple[OutputPort, Any, Optional[int]]] = []
         self._in_handler = False
+        #: Optional pure-observation hook (``on_arrival`` /
+        #: ``on_dispatch`` / ``on_emit`` / ``on_complete``), e.g. the
+        #: replay-clock tracer.  Observers must never feed back into
+        #: scheduling, RNG draws, or the wire format: traced and
+        #: untraced runs stay byte-identical.
+        self.observer = None
         # Clone handler specs so estimator revisions (determinism faults)
         # stay local to this runtime instead of mutating class-level state
         # shared across engines, replicas, and deployments.
@@ -298,6 +304,8 @@ class ComponentRuntime:
             heapq.heappush(self._head_heap, (msg.key(), msg.wire_id))
         self.silence.advance(msg.wire_id, msg.vt)
         self._probe_outstanding[msg.wire_id] = False
+        if self.observer is not None:
+            self.observer.on_arrival(self, msg)
         self.policy.on_enqueued(self, msg)
         self.maybe_dispatch()
 
@@ -423,6 +431,8 @@ class ComponentRuntime:
         self._delay_key = None
 
     def _dispatch(self, msg: DataMessage, wire: InWireState) -> None:
+        if self.observer is not None:
+            self.observer.on_dispatch(self, msg)
         if self._delay_key == msg.key():
             held = self.services.sim.now - self._delay_start
             self.services.metrics.add("pessimism_delay_ticks", held)
@@ -516,6 +526,8 @@ class ComponentRuntime:
     def _complete(self, busy: BusyInfo, end_vt: int, return_value: Any) -> None:
         """Finish processing: advance virtual time, reply if two-way."""
         self.component_vt = end_vt
+        if self.observer is not None:
+            self.observer.on_complete(self, busy, end_vt)
         if busy.handler_spec.two_way:
             self._send_reply(busy, end_vt, return_value)
         self._busy = None
@@ -600,6 +612,8 @@ class ComponentRuntime:
         else:
             msg = DataMessage(spec.wire_id, seq, vt_out, payload)
         sender.emit_message(msg)
+        if self.observer is not None:
+            self.observer.on_emit(self, spec, msg)
         self.policy.on_emit(self, spec.wire_id, sender, vt_out)
         self.services.transmit(spec, msg)
 
@@ -644,6 +658,8 @@ class ComponentRuntime:
         msg = CallReply(reply_spec.wire_id, sender.next_seq, vt_out,
                         return_value, call_id=request.call_id)
         sender.emit_message(msg)
+        if self.observer is not None:
+            self.observer.on_emit(self, reply_spec, msg)
         self.services.transmit(reply_spec, msg)
 
     # ------------------------------------------------------------------

@@ -180,6 +180,7 @@ async def run_gateway_cluster(
     pump: Optional[asyncio.Task] = None
     client_stats: List = []
     reference: Dict[str, List[Tuple]] = {}
+    shadow: Dict[str, List[Tuple]] = {}
     try:
         for child in children.values():
             ok = await loop.run_in_executor(
@@ -312,6 +313,8 @@ async def run_gateway_cluster(
             "p99_us": _pct(metrics, 99.0, samples),
             "p999_us": _pct(metrics, 99.9, samples),
         },
+        shadow=shadow,
+        metrics=metrics.dump_json(),
     )
     if chaos is not None:
         result["chaos"] = chaos.report()
@@ -387,7 +390,8 @@ def build_gateway_spec(args: argparse.Namespace,
 def run_trial(label: str, spec: ClusterSpec, plan: ClientPlan,
               kill_engine: Optional[str], kill_fraction: float,
               deadline_s: float,
-              chaos_seed: Optional[int] = None) -> Dict:
+              chaos_seed: Optional[int] = None,
+              record_dir: Optional[str] = None) -> Dict:
     """One addressed live run + verification; returns the trial report."""
 
     async def _run() -> Dict:
@@ -413,6 +417,19 @@ def run_trial(label: str, spec: ClusterSpec, plan: ClientPlan,
         )
 
     result = asyncio.run(_run())
+    shadow = result.pop("shadow", {})
+    if record_dir is not None and shadow:
+        # Gateway bundles replay the admission shadow log (the spec has
+        # no seeded workload), re-executed under the replay-clock tracer.
+        from repro.runtime.flightrec import record_run
+
+        bundle = record_run(
+            spec, Path(record_dir) / label, external=shadow,
+            seed=spec.master_seed, source="gateway",
+        )
+        result["bundle"] = str(bundle)
+        print(f"{label}: wrote replay bundle {bundle}",
+              file=sys.stderr, flush=True)
     verdict = verify_trace_equivalence(
         result.pop("reference"), result.pop("streams"), trial=label,
         require_complete=True,
@@ -478,6 +495,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--client-burst", type=float, default=200.0)
     parser.add_argument("--retry-ms", type=float, default=50.0)
     parser.add_argument("--skip-clean", action="store_true")
+    parser.add_argument("--record", default=None, metavar="DIR",
+                        help="write a .replay flight-recorder bundle per "
+                             "trial under DIR (see docs/timetravel.md)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the full metrics registry as JSON "
+                             "at shutdown")
     parser.add_argument("--timeout", type=float, default=None,
                         help="per-trial wall-clock deadline in seconds")
     parser.add_argument("--json", action="store_true", dest="as_json")
@@ -521,6 +544,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "messages": plan.total_messages,
         "rate_msgs_per_s": plan.rate_msgs_per_s,
     }, "trials": {}}
+    metrics_docs: Dict[str, Dict] = {}
     failed = False
     for label, victim, chaos_seed in trials:
         print(f"{label}: launching "
@@ -528,7 +552,9 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"{plan.n_clients} client(s), {plan.total_messages} "
               f"submission(s) ...", file=sys.stderr, flush=True)
         result = run_trial(label, spec, plan, victim, args.kill_fraction,
-                           deadline_s, chaos_seed=chaos_seed)
+                           deadline_s, chaos_seed=chaos_seed,
+                           record_dir=args.record)
+        metrics_docs[label] = result.pop("metrics", None)
         failed = failed or not result["ok"]
         report["trials"][label] = result
         status = "OK" if result["ok"] else "FAIL"
@@ -552,6 +578,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         if "divergence" in result:
             print(result["divergence"], file=sys.stderr, flush=True)
 
+    if args.metrics_out is not None:
+        Path(args.metrics_out).write_text(
+            json.dumps(metrics_docs, indent=2, sort_keys=True) + "\n")
+        print(f"gateway: wrote metrics to {args.metrics_out}",
+              file=sys.stderr, flush=True)
     if args.as_json:
         print(json.dumps(report, indent=2, sort_keys=True))
     print("gateway: " + ("all trials byte-identical to the replayed "

@@ -353,6 +353,7 @@ async def run_networked(
         audit_reports={name: child.audit
                        for name, child in children.items()
                        if child.audit is not None},
+        metrics=host.deployment.metrics.dump_json(),
     )
     if chaos is not None:
         result["chaos"] = chaos.report()
@@ -541,6 +542,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--rate", type=float, default=400.0,
                         help="gateway mode: aggregate open-loop offered "
                              "rate in msgs/sec across all clients")
+    parser.add_argument("--record", default=None, metavar="DIR",
+                        help="write a .replay flight-recorder bundle of "
+                             "the run (see docs/timetravel.md)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write the full metrics registry as JSON "
+                             "at shutdown")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="machine-readable report on stdout")
     args = parser.parse_args(argv)
@@ -569,6 +576,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             gateway_argv += ["--kill-fraction", str(args.kill_fraction)]
         if args.timeout is not None:
             gateway_argv += ["--timeout", str(args.timeout)]
+        if args.record is not None:
+            gateway_argv += ["--record", args.record]
+        if args.metrics_out is not None:
+            gateway_argv += ["--metrics-out", args.metrics_out]
         if args.as_json:
             gateway_argv.append("--json")
         return gateway_main(gateway_argv)
@@ -599,6 +610,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             chaos_argv += ["--audit-every", str(args.audit_every)]
         if args.timeout is not None:
             chaos_argv += ["--timeout", str(args.timeout)]
+        if args.record is not None:
+            chaos_argv += ["--record", args.record]
+        if args.metrics_out is not None:
+            chaos_argv += ["--metrics-out", args.metrics_out]
         if args.as_json:
             chaos_argv.append("--json")
         return chaos_main(chaos_argv)
@@ -627,6 +642,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"reference: {sum(ref_counts.values())} outputs "
           f"across {len(ref_counts)} sink(s)", file=sys.stderr, flush=True)
 
+    if args.record is not None:
+        # Record the simulated twin: determinism makes it the faithful
+        # recording of every trial that passes the byte-identity judge.
+        from repro.runtime.flightrec import record_run
+
+        bundle = record_run(spec, args.record, seed=args.seed,
+                            source="cluster")
+        print(f"cluster: wrote replay bundle {bundle}",
+              file=sys.stderr, flush=True)
+
     trials: List[Tuple[str, Optional[str]]] = []
     if not args.skip_clean:
         trials.append(("networked-clean", None))
@@ -636,6 +661,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         trials.append(("networked-clean", None))
 
     report = {"reference_outputs": sum(ref_counts.values()), "trials": {}}
+    metrics_docs: Dict[str, Dict] = {}
     failed = False
     for label, victim in trials:
         print(f"{label}: launching "
@@ -650,6 +676,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         liveness = (group_liveness(spec, result, victim, ref_counts)
                     if victim is not None else None)
         result.pop("arrival_ticks", None)  # bulky; judged above
+        metrics_docs[label] = result.pop("metrics", None)
         result["liveness"] = liveness
         ok = (verdict.deterministic and result["complete"]
               and not result["error"]
@@ -683,6 +710,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not verdict.deterministic:
             print(verdict.summary(), file=sys.stderr, flush=True)
 
+    if args.metrics_out is not None:
+        Path(args.metrics_out).write_text(
+            json.dumps(metrics_docs, indent=2, sort_keys=True) + "\n")
+        print(f"cluster: wrote metrics to {args.metrics_out}",
+              file=sys.stderr, flush=True)
     if args.as_json:
         print(json.dumps(report, indent=2, sort_keys=True))
     print("cluster: " + ("all trials byte-identical to the simulated "

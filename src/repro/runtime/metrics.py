@@ -151,6 +151,40 @@ class MetricSet:
             "determinism_faults": float(self.counter("determinism_faults")),
         }
 
+    def dump_json(self) -> Dict:
+        """The full registry as one JSON-safe document.
+
+        Everything a run accumulated — counters, gauges, accumulators,
+        the latency-percentile summary, and per-channel fault counters —
+        in a strictly finite form (``NaN``/``inf`` become ``None`` so
+        the output is valid strict JSON).  This is what ``--metrics-out``
+        writes at shutdown and what flight-recorder bundles embed.
+        """
+        def finite(value):
+            value = float(value)
+            return value if math.isfinite(value) else None
+
+        latency = {"count": self.latency_count()}
+        if self._latencies:
+            latency.update({
+                "mean_us": finite(self.mean_latency_us()),
+                "p50_us": finite(self.latency_percentile_us(50)),
+                "p95_us": finite(self.latency_percentile_us(95)),
+                "p99_us": finite(self.latency_percentile_us(99)),
+                "p999_us": finite(self.latency_percentile_us(99.9)),
+                "std_us": finite(self.latency_std_us()),
+            })
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: finite(v)
+                       for k, v in sorted(self.gauges.items())},
+            "accumulators": {k: self.accumulators[k]
+                             for k in sorted(self.accumulators)},
+            "latency": latency,
+            "channels": self.channel_counters(),
+            "summary": {k: finite(v) for k, v in self.summary().items()},
+        }
+
     def __repr__(self) -> str:
         return (f"MetricSet(messages={self.latency_count()}, "
                 f"mean={self.mean_latency_us():.1f}us)")

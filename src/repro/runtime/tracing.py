@@ -7,11 +7,18 @@ perturbing the runtime:
 
 * :class:`ExecutionTracer` — a bounded ring buffer of processing events
   (dispatch, completion, pessimism enter/exit), attachable to any
-  deployment; tests and operators read or dump it.
+  deployment; tests and operators read or dump it.  Events carry a
+  monotonically increasing per-tracer ``index``, so post-hoc ordering of
+  events with equal ``real_time`` is unambiguous, and the buffer
+  round-trips to disk through the canonical serializer
+  (``dump(path)`` / ``load(path)``).
 * :func:`explain_hold` — a point-in-time diagnosis of one component:
   which message is the scheduling candidate, which wires block it, how
   far each horizon is from the needed virtual time, and what would
-  unblock it.
+  unblock it.  When a replay-clock tracer is attached the candidate
+  carries its RepCl, so live hold diagnosis and time-travel ``why``
+  queries speak the same vocabulary; ``render_hold_report(report,
+  as_json=True)`` emits the machine-readable form.
 
 Tracing hooks ride the metrics interface (pure observation), so traced
 and untraced runs execute identically — asserted by test.
@@ -19,11 +26,16 @@ and untraced runs execute identically — asserted by test.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Deque, Dict, List, Optional
 
 from repro.vt.time import format_vt
+
+#: On-disk trace format version (``ExecutionTracer.dump(path)``).
+TRACE_FORMAT = 1
 
 
 @dataclass(frozen=True)
@@ -37,6 +49,9 @@ class TraceEvent:
     seq: Optional[int] = None
     vt: Optional[int] = None
     detail: str = ""
+    #: Per-tracer monotonic sequence number, assigned by ``record``:
+    #: the unambiguous post-hoc order for events sharing a real_time.
+    index: int = -1
 
 
 class ExecutionTracer:
@@ -50,6 +65,7 @@ class ExecutionTracer:
         self.capacity = capacity
         self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self._attached: List[Any] = []
+        self._next_index = 0
 
     def attach(self, deployment) -> None:
         """Trace every component runtime in a deployment."""
@@ -88,7 +104,14 @@ class ExecutionTracer:
         self._attached.append(runtime)
 
     def record(self, event: TraceEvent) -> None:
-        """Append one event (oldest events fall off at capacity)."""
+        """Append one event (oldest events fall off at capacity).
+
+        Stamps the tracer's monotonic index; an event recorded with an
+        explicit non-negative index (a reloaded one) keeps it.
+        """
+        if event.index < 0:
+            event = dataclasses.replace(event, index=self._next_index)
+        self._next_index = max(self._next_index, event.index + 1)
         self._events.append(event)
 
     def events(self, component: Optional[str] = None,
@@ -100,8 +123,21 @@ class ExecutionTracer:
             and (kind is None or e.kind == kind)
         ]
 
-    def dump(self, limit: int = 50) -> str:
-        """Human-readable tail of the trace."""
+    def dump(self, path: Optional[str] = None, limit: int = 50) -> str:
+        """Human-readable tail of the trace — or, with ``path``, a
+        canonical-serializer file that :meth:`load` round-trips."""
+        if path is not None:
+            from repro.runtime import checkpoint as cpser
+
+            doc = {
+                "format": TRACE_FORMAT,
+                "capacity": self.capacity,
+                "next_index": self._next_index,
+                "events": [dataclasses.astuple(e) for e in self._events],
+            }
+            with open(path, "wb") as fh:
+                fh.write(cpser.dumps(doc))
+            return path
         lines = []
         for e in list(self._events)[-limit:]:
             vt = format_vt(e.vt) if e.vt is not None else "-"
@@ -111,6 +147,23 @@ class ExecutionTracer:
                 f"{e.detail}"
             )
         return "\n".join(lines)
+
+    @classmethod
+    def load(cls, path: str) -> "ExecutionTracer":
+        """Rebuild a tracer from a :meth:`dump` file."""
+        from repro.errors import TartError
+        from repro.runtime import checkpoint as cpser
+
+        with open(path, "rb") as fh:
+            doc = cpser.loads(fh.read())
+        if doc.get("format") != TRACE_FORMAT:
+            raise TartError(f"unsupported trace format "
+                            f"{doc.get('format')!r} in {path}")
+        tracer = cls(capacity=doc["capacity"])
+        for fields in doc["events"]:
+            tracer.record(TraceEvent(*fields))
+        tracer._next_index = max(tracer._next_index, doc["next_index"])
+        return tracer
 
     def __len__(self) -> int:
         return len(self._events)
@@ -143,6 +196,14 @@ def explain_hold(runtime) -> Dict[str, Any]:
         return report
     msg, _wire = best
     report["candidate"] = {"wire": msg.wire_id, "seq": msg.seq, "vt": msg.vt}
+    observer = getattr(runtime, "observer", None)
+    if observer is not None and hasattr(observer, "clock_for_message"):
+        # A replay-clock tracer is attached: annotate the candidate with
+        # its sender's RepCl (or the receiver's clock for external
+        # roots) so hold diagnosis and timetravel `why` line up.
+        clock = (observer.clock_for_message(msg.wire_id, msg.seq)
+                 or observer.clock_of(runtime.component.name))
+        report["candidate"]["repcl"] = clock.encode()
     blocking = runtime.silence.blocking_wires(msg.vt, excluding=msg.wire_id)
     if not blocking:
         report["reason"] = "dispatchable (will run at the next event)"
@@ -168,8 +229,11 @@ def explain_hold(runtime) -> Dict[str, Any]:
     return report
 
 
-def render_hold_report(report: Dict[str, Any]) -> str:
-    """Format an :func:`explain_hold` report for humans."""
+def render_hold_report(report: Dict[str, Any],
+                       as_json: bool = False) -> str:
+    """Format an :func:`explain_hold` report for humans (or machines)."""
+    if as_json:
+        return json.dumps(report, indent=2, sort_keys=True)
     lines = [f"component {report['component']}:"]
     if report["busy"]:
         busy = report.get("busy_message", {})
@@ -187,6 +251,9 @@ def render_hold_report(report: Dict[str, Any]) -> str:
     lines.append(
         f"  HOLDING wire={candidate['wire']} seq={candidate['seq']} at "
         f"{format_vt(candidate['vt'])}")
+    if "repcl" in candidate:
+        lines.append(f"    candidate repcl: "
+                     f"{json.dumps(candidate['repcl'], sort_keys=True)}")
     for b in report["blocking_wires"]:
         kind = "external" if b["external"] else "internal"
         probe = " (probe in flight)" if b["probe_outstanding"] else ""

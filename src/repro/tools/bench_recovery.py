@@ -201,12 +201,56 @@ def bench_group_failover(
     return shapes_out
 
 
+def bench_bundle_replay(rounds: int = 3) -> Dict:
+    """Record a ``.replay`` flight-recorder bundle and time a cold
+    load + seek-to-horizon (``docs/timetravel.md``).
+
+    ``record_ms`` is the cost of executing the simulated twin under a
+    replay-clock tracer and persisting the bundle; ``replay_ms`` is the
+    cost the debugger pays per cold seek (rebuild + re-execute +
+    byte-verify against the recorded snapshot).
+    """
+    import tempfile
+
+    from repro.net.topology import ClusterSpec
+    from repro.runtime.flightrec import ReplayBundle, record_run
+    from repro.tools.timetravel import TimeTravelSession
+
+    spec = ClusterSpec(
+        engines=["e0", "e1"], replicas=1, master_seed=7,
+        workload={"readings": {"n_messages": 120,
+                               "mean_interarrival_ms": 1.0}},
+    )
+    record_samples: List[float] = []
+    replay_samples: List[float] = []
+    events = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        for i in range(rounds):
+            started = time.perf_counter()
+            path = record_run(spec, Path(tmp) / f"bench{i}",
+                              source="bench")
+            record_samples.append((time.perf_counter() - started) * 1e3)
+            started = time.perf_counter()
+            bundle = ReplayBundle.load(path)
+            session = TimeTravelSession(bundle)
+            assert session.verify_final()
+            replay_samples.append((time.perf_counter() - started) * 1e3)
+            events = len(bundle.events)
+    return {
+        "rounds": rounds,
+        "events": events,
+        "record_ms": round(statistics.fmean(record_samples), 2),
+        "replay_ms": round(statistics.fmean(replay_samples), 2),
+    }
+
+
 def main() -> int:
     result = {
         "bench": "recovery",
         "checkpoint_capture": bench_capture(),
         "audit_rebuild_us": bench_audit_rebuild(),
         "replay": bench_replay(),
+        "bundle_replay": bench_bundle_replay(),
         "group_failover": bench_group_failover(),
     }
     out = Path("BENCH_recovery.json")

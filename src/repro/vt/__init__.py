@@ -7,10 +7,12 @@ determinism (paper section II.D).
 
 This package provides tick arithmetic and tie-breaking
 (:mod:`~repro.vt.time`), per-wire tick-stream accounting with gap
-detection (:mod:`~repro.vt.ticks`), and silence-horizon bookkeeping
-(:mod:`~repro.vt.silence`).
+detection (:mod:`~repro.vt.ticks`), silence-horizon bookkeeping
+(:mod:`~repro.vt.silence`), and bounded replay clocks for recorded runs
+(:mod:`~repro.vt.repcl`).
 """
 
+from repro.vt.repcl import ReplayClockTracer, RepCl
 from repro.vt.time import (
     NEVER,
     TICKS_PER_MS,
@@ -25,6 +27,8 @@ from repro.vt.silence import SilenceMap
 __all__ = [
     "MessageKey",
     "NEVER",
+    "RepCl",
+    "ReplayClockTracer",
     "SilenceMap",
     "TICKS_PER_MS",
     "TICKS_PER_S",

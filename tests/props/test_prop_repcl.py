@@ -1,0 +1,85 @@
+"""Property tests: RepCl merge is a lattice join.
+
+The drop rule (components more than ``max_offset`` epochs behind are
+evicted from the offset map) must not break the algebra: an entry
+dropped at an intermediate join would also be dropped by the final join,
+whose epoch is at least as large.  These tests pin that argument with a
+deliberately tiny window so eviction happens constantly.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.vt.repcl import RepCl, merge, merge_all, observe
+
+#: Tiny window so the bounded-offset drop path is exercised heavily.
+MAX_OFFSET = 4
+EPOCH_TICKS = 1
+
+
+def canonical(epoch, known, counter):
+    offsets = tuple(sorted(
+        (idx, epoch - e) for idx, e in known.items()
+        if epoch - e < MAX_OFFSET
+    ))
+    return RepCl(epoch=epoch, offsets=offsets, counter=counter)
+
+
+def make_clock(epoch, raw_known, counter):
+    # Clamp knowledge to the clock's epoch (a component can't be known
+    # ahead of the clock), then canonicalize.
+    return canonical(epoch, {i: min(e, epoch) for i, e in raw_known.items()},
+                     counter)
+
+
+clocks = st.builds(
+    make_clock,
+    st.integers(0, 20),
+    st.dictionaries(st.integers(0, 4), st.integers(0, 20), max_size=5),
+    st.integers(0, 3),
+)
+
+
+@given(clocks, clocks)
+def test_merge_commutative(a, b):
+    assert merge(a, b, MAX_OFFSET) == merge(b, a, MAX_OFFSET)
+
+
+@given(clocks, clocks, clocks)
+def test_merge_associative(a, b, c):
+    left = merge(merge(a, b, MAX_OFFSET), c, MAX_OFFSET)
+    right = merge(a, merge(b, c, MAX_OFFSET), MAX_OFFSET)
+    assert left == right
+
+
+@given(clocks)
+def test_merge_idempotent(a):
+    assert merge(a, a, MAX_OFFSET) == a
+
+
+@given(clocks, clocks)
+def test_merge_dominates_inputs(a, b):
+    j = merge(a, b, MAX_OFFSET)
+    assert j.dominates(a, MAX_OFFSET)
+    assert j.dominates(b, MAX_OFFSET)
+
+
+@given(st.lists(clocks, max_size=6))
+def test_merge_all_order_independent(values):
+    forward = merge_all(values, MAX_OFFSET)
+    backward = merge_all(reversed(values), MAX_OFFSET)
+    assert forward == backward
+
+
+@given(clocks, st.integers(0, 4), st.integers(0, 40))
+def test_observe_dominates_input(clock, index, vt):
+    advanced = observe(clock, index, vt, EPOCH_TICKS, MAX_OFFSET)
+    assert advanced.dominates(clock, MAX_OFFSET)
+    if advanced.epoch - (vt // EPOCH_TICKS) < MAX_OFFSET:
+        assert advanced.known_epoch(index) is not None
+
+
+@given(clocks)
+def test_encode_decode_roundtrip(clock):
+    assert RepCl.decode(clock.encode()) == clock
+    assert RepCl.from_bytes(clock.to_bytes()) == clock

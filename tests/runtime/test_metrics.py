@@ -102,3 +102,33 @@ class TestDerived:
                     "probes_per_message", "pessimism_delay_us"):
             assert key in summary
         assert summary["messages"] == 1.0
+
+
+class TestDumpJson:
+    def test_dump_json_is_json_safe_and_complete(self):
+        import json
+
+        m = MetricSet()
+        m.count("messages_sent", 3)
+        m.add("replayed_ticks", 42)
+        m.gauge("queue_depth", 2.5)
+        m.gauge("broken", float("nan"))
+        m.record_latency(0, 2_000)
+        m.record_latency(1_000, 5_000)
+        doc = m.dump_json()
+        # Must survive strict JSON (non-finite floats become null).
+        round_tripped = json.loads(json.dumps(doc, allow_nan=False))
+        assert round_tripped["counters"]["messages_sent"] == 3
+        assert round_tripped["accumulators"]["replayed_ticks"] == 42
+        assert round_tripped["gauges"]["queue_depth"] == 2.5
+        assert round_tripped["gauges"]["broken"] is None
+        assert round_tripped["latency"]["count"] == 2
+        assert round_tripped["latency"]["mean_us"] == pytest.approx(3.0)
+        assert "summary" in round_tripped
+
+    def test_dump_json_empty_metrics(self):
+        import json
+
+        doc = MetricSet().dump_json()
+        json.dumps(doc, allow_nan=False)
+        assert doc["latency"] == {"count": 0}

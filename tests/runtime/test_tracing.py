@@ -82,6 +82,39 @@ class TestExecutionTracer:
                traced.consumer("sink").effective_outputs]
         assert got == want
 
+    def test_monotonic_index_assigned_on_record(self):
+        tracer = ExecutionTracer(capacity=10)
+        for i in range(25):
+            tracer.record(TraceEvent(i, "c", "dispatch"))
+        indices = [e.index for e in tracer.events()]
+        # The ring dropped the first 15 events, but indices keep
+        # counting: post-hoc order survives eviction.
+        assert indices == list(range(15, 25))
+
+    def test_dump_load_roundtrip(self, tmp_path):
+        dep = traced_deployment()
+        tracer = ExecutionTracer()
+        tracer.attach(dep)
+        dep.run(until=ms(20))
+        path = tmp_path / "trace.bin"
+        tracer.dump(path=str(path))
+        loaded = ExecutionTracer.load(str(path))
+        assert loaded.capacity == tracer.capacity
+        assert loaded.events() == tracer.events()
+        # A reloaded tracer keeps numbering where the original left off.
+        loaded.record(TraceEvent(0, "x", "dispatch"))
+        assert loaded.events()[-1].index == tracer._next_index
+
+    def test_load_rejects_unknown_format(self, tmp_path):
+        from repro.errors import TartError
+        from repro.runtime import checkpoint as cpser
+
+        path = tmp_path / "bad.bin"
+        path.write_bytes(cpser.dumps({"format": 99, "capacity": 1,
+                                      "next_index": 0, "events": []}))
+        with pytest.raises(TartError):
+            ExecutionTracer.load(str(path))
+
     def test_holds_recorded_under_lazy_policy(self):
         app = build_wordcount_app(2)
         dep = Deployment(app,
@@ -155,3 +188,26 @@ class TestExplainHold:
         report = explain_hold(merger)
         assert report["busy"]
         assert "executing" in render_hold_report(report)
+
+    def test_candidate_carries_repcl_when_tracer_attached(self):
+        from repro.vt.repcl import ReplayClockTracer
+
+        hub, merger = self._held_merger()
+        ReplayClockTracer().attach_runtime(merger, "e0")
+        merger.on_data(DataMessage(1, 0, us(100), "x"))
+        report = explain_hold(merger)
+        assert report["holding"]
+        assert set(report["candidate"]["repcl"]) == {"e", "o", "c"}
+        text = render_hold_report(report)
+        assert "candidate repcl" in text
+
+    def test_json_render_is_machine_readable(self):
+        import json
+
+        hub, merger = self._held_merger()
+        merger.on_data(DataMessage(1, 0, us(100), "x"))
+        report = explain_hold(merger)
+        doc = json.loads(render_hold_report(report, as_json=True))
+        assert doc["holding"] is True
+        assert doc["candidate"]["wire"] == 1
+        assert doc["blocking_wires"][0]["wire"] == 2
